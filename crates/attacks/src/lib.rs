@@ -1,0 +1,36 @@
+//! # xsec-attacks
+//!
+//! From-scratch implementations of the five cellular attacks the paper
+//! evaluates (§4, Table 3), mounted against the `xsec-ran` simulator exactly
+//! the way the paper mounts them against OAI on COLOSSEUM — by inserting
+//! malicious logic at the UE/radio layer:
+//!
+//! | Attack | Mechanism here | Literature |
+//! |---|---|---|
+//! | BTS DoS | rogue-UE flood of fabricated RRC connections that stall at authentication, each on a fresh RNTI | Kim et al., S&P'19 |
+//! | Blind DoS | rogue UE replaying a sniffed victim TMSI across sessions, detaching the victim | Kim et al., S&P'19 |
+//! | Uplink ID extraction | uplink overshadowing that garbles the victim's SUCI so the network itself demands the plaintext identity | Erni et al. (AdaptOver), MobiCom'22 |
+//! | Downlink ID extraction | MiTM overwriting the downlink authentication request with a plaintext identity request | Kotuliak et al. (LTrack), USENIX Sec'22 |
+//! | Null cipher & integrity | MiTM stripping UE security capabilities and forging the anti-bidding-down echo | Hussain et al. (5GReasoner), CCS'19 |
+//!
+//! Every attack honors the paper's threat model: adversaries transmit, flood,
+//! or hijack *unprotected* messages only — no AKA keys are ever forged.
+//!
+//! [`dataset`] assembles the labeled attack datasets (benign traffic with
+//! attack episodes mixed in) that the Table 2 / Figure 4 experiments consume.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blind_dos;
+pub mod bts_dos;
+pub mod dataset;
+pub mod id_extraction;
+pub mod null_cipher;
+mod wrap;
+
+pub use blind_dos::{BlindDosUe, TmsiSniffer};
+pub use bts_dos::{BtsDosConfig, BtsDosUe};
+pub use dataset::{attack_simulator, AttackDataset, DatasetBuilder};
+pub use id_extraction::{DownlinkIdExtractor, UplinkIdExtractor};
+pub use null_cipher::NullCipherMitm;

@@ -1,0 +1,82 @@
+//! Helpers for seeing through RRC piggybacking.
+//!
+//! Over the air, the initial uplink NAS message rides inside
+//! `RRCSetupComplete` (and later NAS inside `ULInformationTransfer`). A MiTM
+//! that wants to tamper with the NAS payload must unwrap the container,
+//! substitute, and re-wrap — these helpers do exactly that.
+
+use xsec_proto::{L3Message, NasMessage, RrcMessage};
+
+/// Extracts the uplink NAS message carried by `msg`, whether bare or inside
+/// an RRC container. Returns `None` for pure-RRC messages or undecodable
+/// containers.
+pub(crate) fn uplink_nas(msg: &L3Message) -> Option<NasMessage> {
+    match msg {
+        L3Message::Nas(nas) => Some(nas.clone()),
+        L3Message::Rrc(rrc) => {
+            let container = rrc.nas_container()?;
+            match xsec_proto::decode_l3(container) {
+                Ok(L3Message::Nas(nas)) => Some(nas),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Rebuilds `original` with its NAS payload replaced by `new_nas`,
+/// preserving the carrier (bare NAS stays bare, `SetupComplete` stays
+/// `SetupComplete`, ...).
+pub(crate) fn with_nas(original: &L3Message, new_nas: NasMessage) -> L3Message {
+    let encoded = xsec_proto::encode_l3(&L3Message::Nas(new_nas.clone()));
+    match original {
+        L3Message::Nas(_) => L3Message::Nas(new_nas),
+        L3Message::Rrc(RrcMessage::SetupComplete { .. }) => {
+            L3Message::Rrc(RrcMessage::SetupComplete { nas_container: encoded })
+        }
+        L3Message::Rrc(RrcMessage::UlInformationTransfer { .. }) => {
+            L3Message::Rrc(RrcMessage::UlInformationTransfer { nas_container: encoded })
+        }
+        L3Message::Rrc(RrcMessage::DlInformationTransfer { .. }) => {
+            L3Message::Rrc(RrcMessage::DlInformationTransfer { nas_container: encoded })
+        }
+        // No NAS carrier: return the original untouched.
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_nas_round_trip() {
+        let msg = L3Message::Nas(NasMessage::SecurityModeComplete);
+        assert_eq!(uplink_nas(&msg), Some(NasMessage::SecurityModeComplete));
+        let swapped = with_nas(&msg, NasMessage::RegistrationComplete);
+        assert_eq!(swapped, L3Message::Nas(NasMessage::RegistrationComplete));
+    }
+
+    #[test]
+    fn setup_complete_container_round_trip() {
+        let inner = NasMessage::RegistrationComplete;
+        let container = xsec_proto::encode_l3(&L3Message::Nas(inner.clone()));
+        let msg = L3Message::Rrc(RrcMessage::SetupComplete { nas_container: container });
+        assert_eq!(uplink_nas(&msg), Some(inner));
+
+        let swapped = with_nas(&msg, NasMessage::DeregistrationRequest);
+        let L3Message::Rrc(RrcMessage::SetupComplete { nas_container }) = &swapped else {
+            panic!("carrier changed");
+        };
+        assert_eq!(
+            xsec_proto::decode_l3(nas_container).unwrap(),
+            L3Message::Nas(NasMessage::DeregistrationRequest)
+        );
+    }
+
+    #[test]
+    fn pure_rrc_has_no_nas() {
+        assert_eq!(uplink_nas(&L3Message::Rrc(RrcMessage::Setup)), None);
+        let untouched = with_nas(&L3Message::Rrc(RrcMessage::Setup), NasMessage::ServiceAccept);
+        assert_eq!(untouched, L3Message::Rrc(RrcMessage::Setup));
+    }
+}

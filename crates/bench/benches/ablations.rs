@@ -1,0 +1,47 @@
+//! Performance side of the DESIGN.md ablations: how window length and
+//! bottleneck width move the *inference cost* (the quality side lives in
+//! `cargo run -p xsec-bench --bin ablations`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xsec_dl::{Autoencoder, AutoencoderConfig, Matrix, FEATURES_PER_RECORD};
+
+fn trained_ae(window: usize, hidden: Vec<usize>) -> (Autoencoder, Matrix) {
+    let dim = window * FEATURES_PER_RECORD;
+    // Synthetic benign-ish data is fine here: we measure cost, not quality.
+    let mut rng = StdRng::seed_from_u64(7);
+    let data = Matrix::xavier(256, dim, &mut rng).map(|x| x.abs());
+    let ae = Autoencoder::train(
+        AutoencoderConfig {
+            input_dim: dim,
+            hidden,
+            epochs: 3,
+            seed: 1,
+            ..AutoencoderConfig::for_input(dim)
+        },
+        &data,
+    );
+    let row = data.row_at(0);
+    (ae, row)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_window_length");
+    for window in [2usize, 4, 8, 12] {
+        let (ae, row) = trained_ae(window, vec![64, 16]);
+        group.bench_function(format!("ae_score_n{window}"), |b| b.iter(|| ae.score_row(&row)));
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_bottleneck");
+    for hidden in [vec![16usize, 4], vec![64, 16], vec![128, 32]] {
+        let label = format!("ae_score_h{}x{}", hidden[0], hidden[1]);
+        let (ae, row) = trained_ae(4, hidden);
+        group.bench_function(label, |b| b.iter(|| ae.score_row(&row)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Reconstruction-scoring throughput over whole attack datasets — the work
+//! behind regenerating Figure 4's error series.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sixg_xsec::smo::{Smo, TrainingConfig};
+use xsec_attacks::DatasetBuilder;
+use xsec_dl::{FeatureConfig, Featurizer};
+use xsec_mobiflow::extract_from_events;
+use xsec_types::AttackKind;
+
+fn bench(c: &mut Criterion) {
+    let benign = DatasetBuilder::small(1, 20).benign();
+    let stream = extract_from_events(&benign.events);
+    let models = Smo::train(
+        &TrainingConfig { autoencoder_epochs: 20, lstm_epochs: 1, ..TrainingConfig::default() },
+        &stream,
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("fig4_reconstruction");
+    for kind in AttackKind::ALL {
+        let ds = DatasetBuilder::small(100 + kind as u64, 20).attack(kind);
+        let stream = extract_from_events(&ds.report.events);
+        let dataset = Featurizer::encode_stream(&FeatureConfig { window: 4 }, &stream);
+        let flat = dataset.flat_windows();
+        group.throughput(Throughput::Elements(flat.rows() as u64));
+        group.bench_function(format!("score_{}", kind.short_name().replace(' ', "_")), |b| {
+            b.iter(|| models.autoencoder.score_all(&flat))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

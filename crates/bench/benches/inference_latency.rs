@@ -1,0 +1,73 @@
+//! The near-real-time question: does per-record detection fit the O-RAN
+//! 10ms–1s control-loop budget? Measures the full per-record hot path
+//! (featurize → window → score) for both deployed models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sixg_xsec::mobiwatch::{Detector, MobiWatch, MobiWatchConfig};
+use sixg_xsec::smo::{Smo, TrainingConfig};
+use xsec_attacks::DatasetBuilder;
+use xsec_dl::{Featurizer, Matrix, FEATURES_PER_RECORD};
+use xsec_mobiflow::extract_from_events;
+
+fn bench(c: &mut Criterion) {
+    let benign = DatasetBuilder::small(1, 20).benign();
+    let stream = extract_from_events(&benign.events);
+    let models = Smo::train(
+        &TrainingConfig {
+            autoencoder_epochs: 20,
+            lstm_epochs: 2,
+            ..TrainingConfig::default()
+        },
+        &stream,
+    )
+    .unwrap();
+
+    // Raw model inference.
+    let mut featurizer = Featurizer::new();
+    let features: Vec<Vec<f32>> =
+        stream.records.iter().map(|r| featurizer.encode_record(r)).collect();
+    let flat: Vec<f32> = features[..4].concat();
+    let window_row = Matrix::row(flat);
+    let lstm_window = Matrix::stack_rows(
+        &features[..4].iter().map(|f| Matrix::row(f.clone())).collect::<Vec<_>>(),
+    );
+    let next = Matrix::row(features[4].clone());
+
+    c.bench_function("featurize_one_record", |b| {
+        let mut enc = Featurizer::new();
+        let mut i = 0;
+        b.iter(|| {
+            let v = enc.encode_record(&stream.records[i % stream.records.len()]);
+            i += 1;
+            v
+        })
+    });
+    c.bench_function("autoencoder_score_window", |b| {
+        b.iter(|| models.autoencoder.score_row(&window_row))
+    });
+    c.bench_function("lstm_score_window", |b| b.iter(|| models.lstm.score(&lstm_window, &next)));
+
+    // The full MobiWatch per-record path (what runs inside the xApp).
+    for (name, detector) in
+        [("mobiwatch_record_ae", Detector::Autoencoder), ("mobiwatch_record_lstm", Detector::Lstm)]
+    {
+        c.bench_function(name, |b| {
+            let (mut watch, _state) = MobiWatch::new(
+                models.clone(),
+                MobiWatchConfig { detector, ..MobiWatchConfig::default() },
+            );
+            let mut i = 0;
+            b.iter(|| {
+                let alert = watch.process_record(&stream.records[i % stream.records.len()]);
+                i += 1;
+                alert
+            })
+        });
+    }
+
+    // Sanity constant so readers can relate the numbers to the budget.
+    assert!(FEATURES_PER_RECORD > 0);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Telemetry-extraction throughput: structured events vs. raw-capture
+//! replay, plus the semicolon record codec.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use xsec_attacks::DatasetBuilder;
+use xsec_mobiflow::{decode_ue_record, encode_ue_record, extract_from_events, extract_from_trace};
+
+fn bench(c: &mut Criterion) {
+    let report = DatasetBuilder::small(1, 30).benign();
+    let n = report.events.len() as u64;
+
+    let mut group = c.benchmark_group("mobiflow_extract");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("from_events", |b| b.iter(|| extract_from_events(&report.events)));
+    group.bench_function("from_raw_capture", |b| {
+        b.iter(|| extract_from_trace(&report.trace).unwrap())
+    });
+    group.finish();
+
+    let stream = extract_from_events(&report.events);
+    let lines: Vec<String> = stream.records.iter().map(encode_ue_record).collect();
+    let mut group = c.benchmark_group("mobiflow_codec");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("encode_records", |b| {
+        b.iter(|| stream.records.iter().map(encode_ue_record).collect::<Vec<_>>())
+    });
+    group.bench_function("decode_records", |b| {
+        b.iter(|| lines.iter().map(|l| decode_ue_record(l).unwrap()).collect::<Vec<_>>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! End-to-end pipeline throughput: telemetry records per second through
+//! RIC agent → E2 → platform → MobiWatch → analyzer, and the simulator's
+//! own event rate (the data-generation cost).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sixg_xsec::pipeline::{Pipeline, PipelineConfig};
+use xsec_attacks::DatasetBuilder;
+use xsec_mobiflow::extract_from_events;
+use xsec_types::AttackKind;
+
+fn bench(c: &mut Criterion) {
+    // Data generation: a full attack simulation run.
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("bts_dos_dataset_20_sessions", |b| {
+        b.iter(|| DatasetBuilder::small(1, 20).attack(AttackKind::BtsDos))
+    });
+    group.finish();
+
+    // Replay through the full control-plane stack.
+    let pipeline = Pipeline::train(&PipelineConfig::small(1, 20));
+    let ds = DatasetBuilder::small(2, 20).attack(AttackKind::BtsDos);
+    let stream = extract_from_events(&ds.report.events);
+    let mut group = c.benchmark_group("pipeline_e2e");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("replay_bts_dos_through_ric", |b| {
+        b.iter(|| pipeline.run_stream(&stream))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Model-training and dataset-scoring cost behind Table 2 — the part the
+//! SMO runs offline (training) and the part the xApp runs online (scoring).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sixg_xsec::smo::{Smo, TrainingConfig};
+use xsec_attacks::DatasetBuilder;
+use xsec_dl::{Autoencoder, AutoencoderConfig, FeatureConfig, Featurizer};
+use xsec_mobiflow::extract_from_events;
+use xsec_types::AttackKind;
+
+fn bench(c: &mut Criterion) {
+    let benign = DatasetBuilder::small(1, 20).benign();
+    let stream = extract_from_events(&benign.events);
+    let dataset = Featurizer::encode_stream(&FeatureConfig { window: 4 }, &stream);
+    let flat = dataset.flat_windows();
+
+    let mut group = c.benchmark_group("table2_training");
+    group.sample_size(10);
+    group.bench_function("autoencoder_train_10_epochs", |b| {
+        b.iter(|| {
+            Autoencoder::train(
+                AutoencoderConfig {
+                    input_dim: flat.cols(),
+                    hidden: vec![64, 16],
+                    epochs: 10,
+                    seed: 1,
+                    ..AutoencoderConfig::for_input(flat.cols())
+                },
+                &flat,
+            )
+        })
+    });
+    group.bench_function("smo_train_full_quick", |b| {
+        b.iter(|| {
+            Smo::train(
+                &TrainingConfig {
+                    autoencoder_epochs: 10,
+                    lstm_epochs: 1,
+                    ..TrainingConfig::default()
+                },
+                &stream,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+
+    // Scoring an entire attack dataset (what Table 2's evaluation loop does).
+    let models = Smo::train(
+        &TrainingConfig { autoencoder_epochs: 20, lstm_epochs: 1, ..TrainingConfig::default() },
+        &stream,
+    )
+    .unwrap();
+    let ds = DatasetBuilder::small(2, 20).attack(AttackKind::BtsDos);
+    let attack_stream = extract_from_events(&ds.report.events);
+    let attack_dataset =
+        Featurizer::encode_stream(&FeatureConfig { window: 4 }, &attack_stream);
+    let attack_flat = attack_dataset.flat_windows();
+
+    let mut group = c.benchmark_group("table2_scoring");
+    group.throughput(Throughput::Elements(attack_flat.rows() as u64));
+    group.bench_function("score_attack_dataset_ae", |b| {
+        b.iter(|| models.autoencoder.score_all(&attack_flat))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

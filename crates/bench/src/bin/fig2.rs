@@ -1,0 +1,12 @@
+//! Regenerates Figure 2: the benign vs. identity-extraction message ladders
+//! (2a) and the RAN DoS flood ladders (2b), from live simulation.
+
+use sixg_xsec::experiments::fig2;
+
+fn main() {
+    let sessions = if xsec_bench::quick_mode() { 20 } else { 60 };
+    let result = fig2::run(1, sessions);
+    let text = result.render();
+    println!("{text}");
+    xsec_bench::save_report("fig2", &text);
+}

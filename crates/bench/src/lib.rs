@@ -1,0 +1,52 @@
+//! # xsec-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation section, plus Criterion micro-benchmarks for the performance-
+//! critical paths (E2 codec, telemetry extraction, featurization, model
+//! inference, end-to-end pipeline throughput).
+//!
+//! | Paper artifact | Binary |
+//! |---|---|
+//! | Table 2 | `cargo run --release -p xsec-bench --bin table2` |
+//! | Table 3 | `cargo run --release -p xsec-bench --bin table3` |
+//! | Figure 2 | `cargo run --release -p xsec-bench --bin fig2` |
+//! | Figure 4 | `cargo run --release -p xsec-bench --bin fig4` |
+//! | Figure 5 | `cargo run --release -p xsec-bench --bin fig5` |
+//! | design-choice ablations | `cargo run --release -p xsec-bench --bin ablations` |
+//!
+//! Every binary accepts `--quick` for a reduced-scale run (used in CI) and
+//! writes its output both to stdout and to `target/experiments/<name>.txt`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Whether `--quick` was passed on the command line.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Writes an experiment report under `target/experiments/` and echoes the
+/// path, so EXPERIMENTS.md can reference reproducible artifacts.
+pub fn save_report(name: &str, contents: &str) -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    let path = dir.join(format!("{name}.txt"));
+    let mut file = std::fs::File::create(&path).expect("create report file");
+    file.write_all(contents.as_bytes()).expect("write report");
+    eprintln!("(report saved to {})", path.display());
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_report_round_trips() {
+        let path = save_report("selftest", "hello\n");
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "hello\n");
+    }
+}

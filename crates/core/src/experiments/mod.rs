@@ -1,0 +1,19 @@
+//! Reproductions of every table and figure in the paper's evaluation (§4).
+//!
+//! Each experiment is a pure function from a seed/config to a structured
+//! result plus a `render()` that prints the same rows/series the paper
+//! reports. The `xsec-bench` crate exposes one binary per experiment:
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Table 2 (detection performance) | [`table2`] | `cargo run -p xsec-bench --bin table2` |
+//! | Table 3 (LLM evaluation matrix) | [`table3`] | `cargo run -p xsec-bench --bin table3` |
+//! | Figure 2 (attack message ladders) | [`fig2`] | `cargo run -p xsec-bench --bin fig2` |
+//! | Figure 4 (reconstruction errors) | [`fig4`] | `cargo run -p xsec-bench --bin fig4` |
+//! | Figure 5 (prompt & response) | [`fig5`] | `cargo run -p xsec-bench --bin fig5` |
+
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod table2;
+pub mod table3;

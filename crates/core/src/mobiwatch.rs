@@ -1,0 +1,298 @@
+//! The MOBIWATCH xApp: unsupervised anomaly detection in the near-RT loop.
+//!
+//! Consumes MobiFlow telemetry from E2 indications, maintains the sliding
+//! window over the live stream, scores each window with the deployed model,
+//! and — when a window exceeds the threshold — publishes the window plus its
+//! context to the `anomalies` topic for the LLM analyzer (§3.3: MobiWatch is
+//! the pre-filter that keeps the expensive model out of the hot path).
+
+use crate::smo::DeployedModels;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use parking_lot::Mutex;
+use xsec_dl::{Featurizer, Matrix, FEATURES_PER_RECORD};
+use xsec_mobiflow::{encode_ue_record, UeMobiFlow};
+use xsec_ric::{XApp, XAppContext};
+use xsec_types::Timestamp;
+
+/// Which deployed model scores the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Detector {
+    /// Reconstruction-error scoring.
+    Autoencoder,
+    /// Next-step prediction-error scoring.
+    Lstm,
+}
+
+/// MobiWatch configuration.
+#[derive(Debug, Clone)]
+pub struct MobiWatchConfig {
+    /// Model selection.
+    pub detector: Detector,
+    /// Records of context (before the window) attached to each alert.
+    pub context_records: usize,
+    /// Topic alerts are published on.
+    pub publish_topic: String,
+    /// Minimum records between two published alerts (LLM cost control).
+    pub publish_cooldown: usize,
+}
+
+impl Default for MobiWatchConfig {
+    fn default() -> Self {
+        MobiWatchConfig {
+            detector: Detector::Autoencoder,
+            context_records: 48,
+            publish_topic: "anomalies".to_string(),
+            publish_cooldown: 16,
+        }
+    }
+}
+
+/// One alert as published to the analyzer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnomalyAlert {
+    /// Stream index of the last record in the flagged window.
+    pub at_record: u64,
+    /// Virtual time of that record.
+    pub at_time: Timestamp,
+    /// The anomaly score.
+    pub score: f32,
+    /// The decision threshold in force.
+    pub threshold: f32,
+    /// Window + context records, oldest first, in the MobiFlow line coding.
+    pub records: Vec<String>,
+}
+
+/// Shared inspection state (scores and flags survive the platform run).
+#[derive(Debug, Default)]
+pub struct MobiWatchState {
+    /// `(record index, score, flagged)` per completed window.
+    pub scores: Vec<(u64, f32, bool)>,
+    /// Published alerts.
+    pub alerts: Vec<AnomalyAlert>,
+}
+
+/// The anomaly-detection xApp.
+pub struct MobiWatch {
+    models: DeployedModels,
+    config: MobiWatchConfig,
+    featurizer: Featurizer,
+    history: Vec<(UeMobiFlow, Vec<f32>)>,
+    records_seen: u64,
+    last_publish_at: Option<u64>,
+    state: Arc<Mutex<MobiWatchState>>,
+}
+
+impl MobiWatch {
+    /// Creates the xApp with deployed models; returns the shared state
+    /// handle for post-run inspection.
+    pub fn new(
+        models: DeployedModels,
+        config: MobiWatchConfig,
+    ) -> (Self, Arc<Mutex<MobiWatchState>>) {
+        let state = Arc::new(Mutex::new(MobiWatchState::default()));
+        (
+            MobiWatch {
+                models,
+                config,
+                featurizer: Featurizer::new(),
+                history: Vec::new(),
+                records_seen: 0,
+                last_publish_at: None,
+                state: state.clone(),
+            },
+            state,
+        )
+    }
+
+    /// The sliding-window length in force.
+    pub fn window(&self) -> usize {
+        self.models.feature_config.window
+    }
+
+    /// Feeds one record; returns an alert when the window it completes is
+    /// anomalous (alert emission respects the publish cooldown; scoring
+    /// happens for every window regardless).
+    pub fn process_record(&mut self, record: &UeMobiFlow) -> Option<AnomalyAlert> {
+        let features = self.featurizer.encode_record(record);
+        self.history.push((record.clone(), features));
+        self.records_seen += 1;
+        let n = self.window();
+
+        // Cap memory: keep enough history for context + window.
+        let keep = (self.config.context_records + n + 1).max(2 * n);
+        if self.history.len() > 4 * keep {
+            self.history.drain(..self.history.len() - keep);
+        }
+
+        let (score, threshold) = match self.config.detector {
+            Detector::Autoencoder => {
+                if self.history.len() < n {
+                    return None;
+                }
+                let mut flat = Vec::with_capacity(n * FEATURES_PER_RECORD);
+                for (_, f) in &self.history[self.history.len() - n..] {
+                    flat.extend_from_slice(f);
+                }
+                let score = self.models.autoencoder.score_row(&Matrix::row(flat));
+                (score, self.models.ae_threshold)
+            }
+            Detector::Lstm => {
+                if self.history.len() < n + 1 {
+                    return None;
+                }
+                let hist = &self.history[self.history.len() - n - 1..];
+                let rows: Vec<Matrix> =
+                    hist[..n].iter().map(|(_, f)| Matrix::row(f.clone())).collect();
+                let window = Matrix::stack_rows(&rows);
+                let next = Matrix::row(hist[n].1.clone());
+                let score = self.models.lstm.score(&window, &next);
+                (score, self.models.lstm_threshold)
+            }
+        };
+
+        let flagged = threshold.is_anomalous(score);
+        let record_index = self.records_seen - 1;
+        self.state.lock().scores.push((record_index, score, flagged));
+        if !flagged {
+            return None;
+        }
+
+        // Cooldown: one alert per burst, not one per window.
+        if let Some(last) = self.last_publish_at {
+            if record_index.saturating_sub(last) < self.config.publish_cooldown as u64 {
+                return None;
+            }
+        }
+        self.last_publish_at = Some(record_index);
+
+        let context = self.config.context_records + n;
+        let start = self.history.len().saturating_sub(context);
+        let alert = AnomalyAlert {
+            at_record: record_index,
+            at_time: record.timestamp,
+            score,
+            threshold: threshold.value,
+            records: self.history[start..].iter().map(|(r, _)| encode_ue_record(r)).collect(),
+        };
+        self.state.lock().alerts.push(alert.clone());
+        Some(alert)
+    }
+}
+
+impl XApp for MobiWatch {
+    fn name(&self) -> &str {
+        "mobiwatch"
+    }
+
+    fn on_records(
+        &mut self,
+        ctx: &mut XAppContext<'_>,
+        records: &[UeMobiFlow],
+        _window_end: Timestamp,
+    ) {
+        for record in records {
+            if let Some(alert) = self.process_record(record) {
+                let payload = serde_json::to_vec(&alert).expect("alert serializes");
+                ctx.publish(&self.config.publish_topic, &payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smo::{Smo, TrainingConfig};
+    use xsec_attacks::DatasetBuilder;
+    use xsec_mobiflow::extract_from_events;
+    use xsec_types::AttackKind;
+
+    fn quick_models(seed: u64) -> DeployedModels {
+        let report = DatasetBuilder::small(seed, 15).benign();
+        let stream = extract_from_events(&report.events);
+        Smo::train(
+            &TrainingConfig {
+                autoencoder_epochs: 12,
+                lstm_epochs: 3,
+                autoencoder_hidden: vec![48, 12],
+                lstm_hidden: 24,
+                ..TrainingConfig::default()
+            },
+            &stream,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn benign_replay_is_mostly_quiet() {
+        let models = quick_models(10);
+        let (mut watch, state) = MobiWatch::new(models, MobiWatchConfig::default());
+        // Fresh benign traffic from a different seed.
+        let report = DatasetBuilder::small(11, 10).benign();
+        let stream = extract_from_events(&report.events);
+        for r in &stream.records {
+            watch.process_record(r);
+        }
+        let state = state.lock();
+        let flagged = state.scores.iter().filter(|(_, _, f)| *f).count();
+        let total = state.scores.len();
+        assert!(total > 50);
+        assert!(
+            (flagged as f64) < 0.12 * total as f64,
+            "too many benign flags: {flagged}/{total}"
+        );
+    }
+
+    #[test]
+    fn bts_dos_raises_alerts() {
+        let models = quick_models(12);
+        let (mut watch, state) = MobiWatch::new(models, MobiWatchConfig::default());
+        let ds = DatasetBuilder::small(13, 10).attack(AttackKind::BtsDos);
+        let stream = extract_from_events(&ds.report.events);
+        let mut alerts = 0;
+        for r in &stream.records {
+            if watch.process_record(r).is_some() {
+                alerts += 1;
+            }
+        }
+        assert!(alerts >= 1, "the flood must raise at least one alert");
+        let state = state.lock();
+        assert_eq!(state.alerts.len(), alerts);
+        // Alerts carry decodable context records.
+        for line in &state.alerts[0].records {
+            xsec_mobiflow::decode_ue_record(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn cooldown_limits_alert_rate() {
+        let models = quick_models(14);
+        let config =
+            MobiWatchConfig { publish_cooldown: 1000, ..MobiWatchConfig::default() };
+        let (mut watch, state) = MobiWatch::new(models, config);
+        let ds = DatasetBuilder::small(15, 10).attack(AttackKind::BtsDos);
+        let stream = extract_from_events(&ds.report.events);
+        for r in &stream.records {
+            watch.process_record(r);
+        }
+        // Scores accumulate freely; alerts are capped by the cooldown.
+        let state = state.lock();
+        let flagged = state.scores.iter().filter(|(_, _, f)| *f).count();
+        assert!(flagged > state.alerts.len(), "cooldown should suppress repeats");
+        assert!(state.alerts.len() <= 2);
+    }
+
+    #[test]
+    fn lstm_detector_also_works() {
+        let models = quick_models(16);
+        let config = MobiWatchConfig { detector: Detector::Lstm, ..MobiWatchConfig::default() };
+        let (mut watch, state) = MobiWatch::new(models, config);
+        let ds = DatasetBuilder::small(17, 10).attack(AttackKind::BtsDos);
+        let stream = extract_from_events(&ds.report.events);
+        for r in &stream.records {
+            watch.process_record(r);
+        }
+        assert!(!state.lock().scores.is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! The SMO / non-RT-RIC side: offline model training and deployment.
+//!
+//! Per the paper (§3.2 "Deployment"), model training happens outside the
+//! near-RT loop — in the Service Management and Orchestration framework —
+//! and trained models are deployed into the MobiWatch xApp. [`Smo::train`]
+//! is that offline job: benign telemetry in, serialized [`DeployedModels`]
+//! out.
+
+use serde::{Deserialize, Serialize};
+use xsec_dl::{
+    Autoencoder, AutoencoderConfig, FeatureConfig, Featurizer, Lstm, LstmConfig, Matrix,
+    Threshold, FEATURES_PER_RECORD,
+};
+use xsec_mobiflow::TelemetryStream;
+use xsec_types::{Result, XsecError};
+
+/// Training hyperparameters for both model classes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Sliding-window length `N`.
+    pub window: usize,
+    /// Threshold percentile over training errors (paper: 99.0).
+    pub threshold_pct: f64,
+    /// Autoencoder hyperparameters (input width is derived).
+    pub autoencoder_hidden: Vec<usize>,
+    /// Autoencoder epochs.
+    pub autoencoder_epochs: usize,
+    /// LSTM hidden width.
+    pub lstm_hidden: usize,
+    /// LSTM epochs.
+    pub lstm_epochs: usize,
+    /// Seed for deterministic training.
+    pub seed: u64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig {
+            window: 4,
+            threshold_pct: 99.0,
+            autoencoder_hidden: vec![64, 16],
+            autoencoder_epochs: 100,
+            lstm_hidden: 48,
+            lstm_epochs: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// The deployment artifact the SMO hands to MobiWatch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeployedModels {
+    /// Featurization parameters (must match at inference).
+    pub feature_config: FeatureConfig,
+    /// The trained autoencoder.
+    pub autoencoder: Autoencoder,
+    /// Its fitted decision threshold.
+    pub ae_threshold: Threshold,
+    /// The trained LSTM.
+    pub lstm: Lstm,
+    /// Its fitted decision threshold.
+    pub lstm_threshold: Threshold,
+}
+
+impl DeployedModels {
+    /// Serializes the artifact (what the SMO ships to the RIC).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("models serialize")
+    }
+
+    /// Loads a shipped artifact.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| XsecError::Model(e.to_string()))
+    }
+}
+
+/// The offline training service.
+#[derive(Debug, Default)]
+pub struct Smo;
+
+impl Smo {
+    /// Trains both detectors on a benign telemetry stream.
+    ///
+    /// # Errors
+    /// Fails if the stream contains attack labels (training must be
+    /// benign-only, §3.2) or is too short to window.
+    pub fn train(config: &TrainingConfig, benign: &TelemetryStream) -> Result<DeployedModels> {
+        if benign.attack_count() > 0 {
+            return Err(XsecError::Model(format!(
+                "training stream contains {} attack-labeled records; unsupervised training \
+                 requires benign-only data",
+                benign.attack_count()
+            )));
+        }
+        let feature_config = FeatureConfig { window: config.window };
+        let dataset = Featurizer::encode_stream(&feature_config, benign);
+        if dataset.num_windows() < 10 {
+            return Err(XsecError::Model(format!(
+                "only {} windows; need at least 10 to train",
+                dataset.num_windows()
+            )));
+        }
+
+        // Hold out a benign validation slice for threshold fitting: scores
+        // on *unseen* benign data reflect deployment conditions better than
+        // training-set errors, which underestimate the benign tail on small
+        // datasets (see DESIGN.md ablations).
+        let flat = dataset.flat_windows();
+        let n = flat.rows();
+        let val_start = n - n / 5 - 1;
+        let train_rows: Vec<Matrix> = (0..val_start).map(|i| flat.row_at(i)).collect();
+        let train = Matrix::stack_rows(&train_rows);
+        let ae_config = AutoencoderConfig {
+            input_dim: config.window * FEATURES_PER_RECORD,
+            hidden: config.autoencoder_hidden.clone(),
+            epochs: config.autoencoder_epochs,
+            seed: config.seed,
+            ..AutoencoderConfig::for_input(config.window * FEATURES_PER_RECORD)
+        };
+        let autoencoder = Autoencoder::train(ae_config, &train);
+        let val_scores: Vec<f32> =
+            (val_start..n).map(|i| autoencoder.score_row(&flat.row_at(i))).collect();
+        let ae_threshold = Threshold::fit(&val_scores, config.threshold_pct);
+
+        let (windows, nexts) = dataset.lstm_pairs();
+        let lstm_val_start = windows.len() - windows.len() / 5 - 1;
+        let lstm_config = LstmConfig {
+            input_dim: FEATURES_PER_RECORD,
+            hidden: config.lstm_hidden,
+            epochs: config.lstm_epochs,
+            seed: config.seed,
+            ..LstmConfig::for_input(FEATURES_PER_RECORD)
+        };
+        let lstm = Lstm::train(
+            lstm_config,
+            &windows[..lstm_val_start],
+            &nexts[..lstm_val_start],
+        );
+        let lstm_val: Vec<f32> = (lstm_val_start..windows.len())
+            .map(|i| lstm.score(&windows[i], &nexts[i]))
+            .collect();
+        let lstm_threshold = Threshold::fit(&lstm_val, config.threshold_pct);
+
+        Ok(DeployedModels { feature_config, autoencoder, ae_threshold, lstm, lstm_threshold })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsec_attacks::DatasetBuilder;
+    use xsec_mobiflow::extract_from_events;
+
+    fn quick_config() -> TrainingConfig {
+        TrainingConfig {
+            autoencoder_epochs: 5,
+            lstm_epochs: 2,
+            autoencoder_hidden: vec![32, 8],
+            lstm_hidden: 16,
+            ..TrainingConfig::default()
+        }
+    }
+
+    #[test]
+    fn trains_on_benign_data() {
+        let report = DatasetBuilder::small(1, 10).benign();
+        let stream = extract_from_events(&report.events);
+        let models = Smo::train(&quick_config(), &stream).unwrap();
+        assert!(models.ae_threshold.value > 0.0);
+        assert!(models.lstm_threshold.value > 0.0);
+    }
+
+    #[test]
+    fn refuses_attack_contaminated_training_data() {
+        let ds = DatasetBuilder::small(2, 10).attack(xsec_types::AttackKind::BtsDos);
+        let stream = extract_from_events(&ds.report.events);
+        let err = Smo::train(&quick_config(), &stream).unwrap_err();
+        assert_eq!(err.category(), "model");
+    }
+
+    #[test]
+    fn refuses_tiny_streams() {
+        let stream = TelemetryStream::default();
+        assert!(Smo::train(&quick_config(), &stream).is_err());
+    }
+
+    #[test]
+    fn deployment_artifact_round_trips() {
+        let report = DatasetBuilder::small(3, 10).benign();
+        let stream = extract_from_events(&report.events);
+        let models = Smo::train(&quick_config(), &stream).unwrap();
+        let back = DeployedModels::from_json(&models.to_json()).unwrap();
+        assert_eq!(back.ae_threshold, models.ae_threshold);
+        assert_eq!(back.feature_config.window, models.feature_config.window);
+    }
+}

@@ -1,0 +1,254 @@
+//! The autoencoder outlier detector (paper §3.2, "Autoencoders").
+//!
+//! Trained only on benign windows to minimize reconstruction MSE; at
+//! inference, a window's anomaly score *is* its reconstruction error. Scores
+//! above a threshold chosen as a percentile of the *training* errors (the
+//! paper uses the 99th, assuming ~1% noise) flag the window anomalous.
+
+use crate::dense::{Activation, Dense};
+use crate::metrics::percentile;
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Autoencoder hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AutoencoderConfig {
+    /// Input width (window length × features per record).
+    pub input_dim: usize,
+    /// Widths of the encoder's hidden layers; the decoder mirrors them.
+    /// The last entry is the bottleneck.
+    pub hidden: Vec<usize>,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// RNG seed for init and shuffling.
+    pub seed: u64,
+}
+
+impl AutoencoderConfig {
+    /// The defaults used by the Table 2 experiment.
+    pub fn for_input(input_dim: usize) -> Self {
+        AutoencoderConfig {
+            input_dim,
+            hidden: vec![64, 16],
+            learning_rate: 1e-3,
+            epochs: 40,
+            batch_size: 32,
+            seed: 42,
+        }
+    }
+}
+
+/// The trained model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Autoencoder {
+    layers: Vec<Dense>,
+    config: AutoencoderConfig,
+    /// Reconstruction errors on the training set, kept for thresholding.
+    training_errors: Vec<f32>,
+}
+
+impl Autoencoder {
+    /// Trains on benign windows (`rows × input_dim`).
+    ///
+    /// # Panics
+    /// If the dataset is empty or widths disagree with the config.
+    pub fn train(config: AutoencoderConfig, data: &Matrix) -> Self {
+        assert!(data.rows() > 0, "empty training set");
+        assert_eq!(data.cols(), config.input_dim, "data width != input_dim");
+        assert!(!config.hidden.is_empty(), "need at least one hidden layer");
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut layers = Vec::new();
+        // Encoder.
+        let mut widths = vec![config.input_dim];
+        widths.extend(&config.hidden);
+        for w in widths.windows(2) {
+            layers.push(Dense::new(w[0], w[1], Activation::Relu, &mut rng));
+        }
+        // Decoder (mirrored). Sigmoid output: every feature lives in
+        // [0, 1] (see the featurizer's weighting scheme), and the bounded
+        // nonlinearity keeps the decoder from extrapolating to anomalous
+        // feature combinations it never saw.
+        let mut rev: Vec<usize> = widths.clone();
+        rev.reverse();
+        for (i, w) in rev.windows(2).enumerate() {
+            let act =
+                if i + 1 == rev.len() - 1 { Activation::Sigmoid } else { Activation::Relu };
+            layers.push(Dense::new(w[0], w[1], act, &mut rng));
+        }
+
+        let mut model =
+            Autoencoder { layers, config: config.clone(), training_errors: Vec::new() };
+
+        let n = data.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(config.batch_size) {
+                let batch =
+                    Matrix::stack_rows(&chunk.iter().map(|&i| data.row_at(i)).collect::<Vec<_>>());
+                model.train_step(&batch);
+            }
+        }
+
+        model.training_errors = (0..n).map(|i| model.score_row(&data.row_at(i))).collect();
+        model
+    }
+
+    fn train_step(&mut self, batch: &Matrix) {
+        let mut x = batch.clone();
+        for layer in &mut self.layers {
+            x = layer.forward_train(&x);
+        }
+        let n = x.data().len() as f32;
+        let mut grad = x.sub(batch).scale(2.0 / n);
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad, self.config.learning_rate);
+        }
+    }
+
+    /// Reconstructs an input batch.
+    pub fn reconstruct(&self, x: &Matrix) -> Matrix {
+        let mut y = x.clone();
+        for layer in &self.layers {
+            y = layer.forward(&y);
+        }
+        y
+    }
+
+    /// Anomaly score of a single window (1 × input_dim): reconstruction MSE.
+    pub fn score_row(&self, x: &Matrix) -> f32 {
+        assert_eq!(x.rows(), 1, "score_row takes one window");
+        self.reconstruct(x).sub(x).mean_sq()
+    }
+
+    /// Scores every row of a dataset.
+    pub fn score_all(&self, data: &Matrix) -> Vec<f32> {
+        (0..data.rows()).map(|i| self.score_row(&data.row_at(i))).collect()
+    }
+
+    /// The detection threshold at the given percentile of training errors
+    /// (the paper's rule with `pct = 99.0`).
+    pub fn threshold(&self, pct: f64) -> f32 {
+        percentile(&self.training_errors, pct)
+    }
+
+    /// Reconstruction errors on the training set.
+    pub fn training_errors(&self) -> &[f32] {
+        &self.training_errors
+    }
+
+    /// Serializes the model to JSON (the SMO's deployment artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serializes")
+    }
+
+    /// Loads a model from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Synthetic "benign" data: two one-hot-ish prototype patterns plus
+    /// noise. Outliers use a pattern never seen in training.
+    fn synthetic(n: usize, seed: u64) -> (Matrix, Matrix) {
+        let dim = 24;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut benign_rows = Vec::new();
+        for i in 0..n {
+            let mut v = vec![0.05f32; dim];
+            let proto = i % 2;
+            for j in 0..6 {
+                v[proto * 6 + j] = 1.0 - rng.gen_range(0.0..0.1);
+            }
+            benign_rows.push(Matrix::row(v));
+        }
+        let mut outlier_rows = Vec::new();
+        for _ in 0..n / 4 {
+            let mut v = vec![0.05f32; dim];
+            for j in 18..24 {
+                v[j] = 1.0; // a region never active in benign data
+            }
+            outlier_rows.push(Matrix::row(v));
+        }
+        (Matrix::stack_rows(&benign_rows), Matrix::stack_rows(&outlier_rows))
+    }
+
+    fn quick_config(dim: usize) -> AutoencoderConfig {
+        AutoencoderConfig {
+            input_dim: dim,
+            hidden: vec![12, 4],
+            learning_rate: 5e-3,
+            epochs: 60,
+            batch_size: 16,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn separates_outliers_from_benign() {
+        let (benign, outliers) = synthetic(120, 3);
+        let model = Autoencoder::train(quick_config(benign.cols()), &benign);
+        let threshold = model.threshold(99.0);
+        let benign_scores = model.score_all(&benign);
+        let outlier_scores = model.score_all(&outliers);
+        let benign_above = benign_scores.iter().filter(|&&s| s > threshold).count();
+        let outliers_above = outlier_scores.iter().filter(|&&s| s > threshold).count();
+        assert!(
+            benign_above <= benign_scores.len() / 50 + 2,
+            "too many benign false positives: {benign_above}/{}",
+            benign_scores.len()
+        );
+        assert_eq!(
+            outliers_above,
+            outlier_scores.len(),
+            "all outliers must exceed the threshold"
+        );
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_error() {
+        let (benign, _) = synthetic(80, 5);
+        let short = AutoencoderConfig { epochs: 1, ..quick_config(benign.cols()) };
+        let long = AutoencoderConfig { epochs: 80, ..quick_config(benign.cols()) };
+        let e1: f32 = Autoencoder::train(short, &benign).training_errors().iter().sum();
+        let e2: f32 = Autoencoder::train(long, &benign).training_errors().iter().sum();
+        assert!(e2 < e1, "more training should fit better: {e2} !< {e1}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (benign, _) = synthetic(40, 7);
+        let a = Autoencoder::train(quick_config(benign.cols()), &benign);
+        let b = Autoencoder::train(quick_config(benign.cols()), &benign);
+        assert_eq!(a.training_errors(), b.training_errors());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_scores() {
+        let (benign, _) = synthetic(40, 9);
+        let model = Autoencoder::train(quick_config(benign.cols()), &benign);
+        let back = Autoencoder::from_json(&model.to_json()).unwrap();
+        let x = benign.row_at(0);
+        assert_eq!(model.score_row(&x), back.score_row(&x));
+        assert_eq!(model.threshold(99.0), back.threshold(99.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_training_set_panics() {
+        let _ = Autoencoder::train(quick_config(4), &Matrix::zeros(0, 4));
+    }
+}

@@ -1,0 +1,37 @@
+//! # xsec-dl
+//!
+//! A from-scratch, dependency-light deep-learning stack — the stand-in for
+//! the Python/Keras models the paper trains. It implements exactly the two
+//! model classes §3.2 evaluates, plus everything they need:
+//!
+//! * [`Matrix`] — a minimal f32 matrix with the ops the nets use;
+//! * [`Dense`] — fully-connected layers with Adam;
+//! * [`Autoencoder`] — reconstruction-error outlier scoring
+//!   (`ŝ = f_AE(s)`, score = MSE(s, ŝ));
+//! * [`Lstm`] — a full LSTM (BPTT) predicting the next telemetry vector
+//!   (`x̂_{i+N} = f_LSTM(x_i..x_{i+N-1})`, score = MSE(x̂, x));
+//! * [`featurize`] — one-hot sliding-window featurization of MobiFlow
+//!   telemetry (the paper's categorical encoding), with the stateful
+//!   identifier-relation features that make group anomalies visible;
+//! * [`metrics`] — accuracy/precision/recall/F1 and the 99th-percentile
+//!   thresholding rule the paper uses.
+//!
+//! All training is deterministic given a seed. Models serialize to JSON so
+//! the SMO can "deploy" them to xApps, as in Figure 3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autoencoder;
+pub mod dense;
+pub mod featurize;
+pub mod lstm;
+pub mod metrics;
+pub mod tensor;
+
+pub use autoencoder::{Autoencoder, AutoencoderConfig};
+pub use dense::{Activation, Dense};
+pub use featurize::{FeatureConfig, Featurizer, WindowedDataset, FEATURES_PER_RECORD};
+pub use lstm::{Lstm, LstmConfig};
+pub use metrics::{percentile, Confusion, Threshold};
+pub use tensor::Matrix;

@@ -1,0 +1,202 @@
+//! Detection metrics and thresholding.
+//!
+//! Implements the evaluation arithmetic behind Table 2 (accuracy, precision,
+//! recall, F1) and the percentile thresholding rule of §4.1 ("we select a
+//! 99% percentile threshold among the reconstruction errors ... assuming 1%
+//! outliers within the training set caused by network noise").
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion-matrix counts for binary anomaly detection
+/// (positive = anomalous).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Anomalous, flagged.
+    pub tp: u64,
+    /// Benign, flagged.
+    pub fp: u64,
+    /// Benign, not flagged.
+    pub tn: u64,
+    /// Anomalous, missed.
+    pub fn_: u64,
+}
+
+impl Confusion {
+    /// Tallies predictions against ground truth.
+    pub fn from_predictions(pred: &[bool], truth: &[bool]) -> Self {
+        assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+        let mut c = Confusion::default();
+        for (&p, &t) in pred.iter().zip(truth) {
+            match (p, t) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Total samples tallied.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// (TP + TN) / total. `None` when empty.
+    pub fn accuracy(&self) -> Option<f64> {
+        let total = self.total();
+        (total > 0).then(|| (self.tp + self.tn) as f64 / total as f64)
+    }
+
+    /// TP / (TP + FP). `None` when nothing was flagged.
+    pub fn precision(&self) -> Option<f64> {
+        let flagged = self.tp + self.fp;
+        (flagged > 0).then(|| self.tp as f64 / flagged as f64)
+    }
+
+    /// TP / (TP + FN). `None` when no positives exist.
+    pub fn recall(&self) -> Option<f64> {
+        let positives = self.tp + self.fn_;
+        (positives > 0).then(|| self.tp as f64 / positives as f64)
+    }
+
+    /// Harmonic mean of precision and recall. `None` when undefined.
+    pub fn f1(&self) -> Option<f64> {
+        let p = self.precision()?;
+        let r = self.recall()?;
+        if p + r == 0.0 {
+            return Some(0.0);
+        }
+        Some(2.0 * p * r / (p + r))
+    }
+}
+
+/// Empirical percentile with linear interpolation (pct in [0, 100]).
+///
+/// # Panics
+/// On an empty slice, NaN values, or pct outside [0, 100].
+pub fn percentile(values: &[f32], pct: f64) -> f32 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&pct), "pct must be within [0,100]");
+    let mut sorted: Vec<f32> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN scores"));
+    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = (rank - lo as f64) as f32;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A fitted decision threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Threshold {
+    /// Scores strictly above this value are anomalous.
+    pub value: f32,
+    /// The percentile the value was fitted at.
+    pub pct: f64,
+}
+
+impl Threshold {
+    /// Fits a threshold at `pct` over training scores.
+    pub fn fit(training_scores: &[f32], pct: f64) -> Self {
+        Threshold { value: percentile(training_scores, pct), pct }
+    }
+
+    /// The binary decision for one score.
+    pub fn is_anomalous(&self, score: f32) -> bool {
+        score > self.value
+    }
+
+    /// Applies the decision to many scores.
+    pub fn classify(&self, scores: &[f32]) -> Vec<bool> {
+        scores.iter().map(|&s| self.is_anomalous(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts_and_metrics() {
+        let pred = [true, true, false, false, true];
+        let truth = [true, false, false, true, true];
+        let c = Confusion::from_predictions(&pred, &truth);
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (2, 1, 1, 1));
+        assert!((c.accuracy().unwrap() - 0.6).abs() < 1e-12);
+        assert!((c.precision().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_metrics_are_none() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), None);
+        assert_eq!(c.precision(), None);
+        assert_eq!(c.recall(), None);
+        assert_eq!(c.f1(), None);
+        // All-benign, nothing flagged: accuracy defined, recall not.
+        let c = Confusion::from_predictions(&[false, false], &[false, false]);
+        assert_eq!(c.accuracy(), Some(1.0));
+        assert_eq!(c.recall(), None);
+    }
+
+    #[test]
+    fn perfect_detection_is_all_ones() {
+        let truth = [true, false, true, false];
+        let c = Confusion::from_predictions(&truth, &truth);
+        assert_eq!(c.accuracy(), Some(1.0));
+        assert_eq!(c.precision(), Some(1.0));
+        assert_eq!(c.recall(), Some(1.0));
+        assert_eq!(c.f1(), Some(1.0));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert!((percentile(&v, 75.0) - 4.0).abs() < 1e-6);
+        assert!((percentile(&v, 90.0) - 4.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentile_is_order_invariant() {
+        let a = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&a, 99.0), percentile(&b, 99.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty slice")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn threshold_classification() {
+        let training = [0.1, 0.2, 0.3, 0.2, 0.15, 0.25, 0.1, 0.2, 0.3, 9.0];
+        let t = Threshold::fit(&training, 90.0);
+        assert!(t.is_anomalous(10.0));
+        assert!(!t.is_anomalous(0.2));
+        let flags = t.classify(&[0.1, 99.0]);
+        assert_eq!(flags, vec![false, true]);
+    }
+
+    #[test]
+    fn ninety_nine_percentile_tolerates_one_percent_noise() {
+        // 1000 scores, 10 of which are big outliers: the 99th percentile
+        // threshold sits just below the outliers, flagging ~1%.
+        let mut scores: Vec<f32> = (0..990).map(|i| (i % 97) as f32 / 1000.0).collect();
+        scores.extend((0..10).map(|_| 5.0));
+        let t = Threshold::fit(&scores, 99.0);
+        let flagged = scores.iter().filter(|&&s| t.is_anomalous(s)).count();
+        assert!(flagged <= 10, "flagged {flagged} of 1000");
+    }
+}

@@ -1,0 +1,400 @@
+//! The RAN-side RIC agent.
+//!
+//! The paper extends the OAI CU with "an E2 RIC agent that extracts security
+//! telemetry and handles communication with the nRT-RIC's E2 interface"
+//! (§4). This is that component: the instrumented CU pushes MobiFlow records
+//! in; the agent answers E2 setup/subscription traffic and ships buffered
+//! records as periodic `RIC Indication`s, one report per subscription per
+//! elapsed period.
+
+use crate::e2ap::{E2apPdu, RicRequestId};
+use crate::e2sm::{KpmIndication, RAN_FUNCTION_MOBIFLOW};
+use crate::transport::E2Transport;
+use std::collections::BTreeMap;
+use xsec_mobiflow::UeMobiFlow;
+use xsec_types::{CellId, Duration, GnbId, Result, Timestamp, XsecError};
+
+/// Agent identity/configuration.
+#[derive(Debug, Clone)]
+pub struct RicAgentConfig {
+    /// The gNB this agent instruments.
+    pub gnb_id: GnbId,
+    /// The reporting cell.
+    pub cell: CellId,
+}
+
+#[derive(Debug)]
+struct Subscription {
+    period: Duration,
+    next_report_at: Timestamp,
+    cursor: usize,
+    sequence: u64,
+}
+
+/// The agent state machine over a transport.
+pub struct RicAgent<T: E2Transport> {
+    config: RicAgentConfig,
+    transport: T,
+    setup_complete: bool,
+    subscriptions: BTreeMap<RicRequestId, Subscription>,
+    log: Vec<UeMobiFlow>,
+    control_inbox: Vec<Vec<u8>>,
+}
+
+impl<T: E2Transport> RicAgent<T> {
+    /// Creates the agent and immediately sends the E2 Setup Request.
+    pub fn new(config: RicAgentConfig, mut transport: T) -> Result<Self> {
+        let setup = E2apPdu::SetupRequest {
+            gnb_id: config.gnb_id,
+            ran_functions: vec![RAN_FUNCTION_MOBIFLOW],
+        };
+        transport.send(&setup.encode())?;
+        Ok(RicAgent {
+            config,
+            transport,
+            setup_complete: false,
+            subscriptions: BTreeMap::new(),
+            log: Vec::new(),
+            control_inbox: Vec::new(),
+        })
+    }
+
+    /// Whether the RIC accepted our function.
+    pub fn is_setup(&self) -> bool {
+        self.setup_complete
+    }
+
+    /// Number of active subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    /// Buffered records not yet shipped to every subscriber.
+    pub fn backlog(&self) -> usize {
+        let min_cursor =
+            self.subscriptions.values().map(|s| s.cursor).min().unwrap_or(self.log.len());
+        self.log.len() - min_cursor
+    }
+
+    /// The CU instrumentation hook: one record per observed message.
+    pub fn push_record(&mut self, record: UeMobiFlow) {
+        self.log.push(record);
+    }
+
+    /// Control payloads received from the RIC (closed-loop actions), drained.
+    pub fn take_control_requests(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.control_inbox)
+    }
+
+    /// Drives the agent: handles incoming PDUs and flushes due reports.
+    pub fn poll(&mut self, now: Timestamp) -> Result<()> {
+        while let Some(frame) = self.transport.try_recv()? {
+            let pdu = E2apPdu::decode(&frame)?;
+            self.handle(now, pdu)?;
+        }
+        self.flush_reports(now)
+    }
+
+    fn handle(&mut self, now: Timestamp, pdu: E2apPdu) -> Result<()> {
+        match pdu {
+            E2apPdu::SetupResponse { accepted } => {
+                if accepted.contains(&RAN_FUNCTION_MOBIFLOW) {
+                    self.setup_complete = true;
+                    Ok(())
+                } else {
+                    Err(XsecError::Ric("RIC rejected the MobiFlow function".into()))
+                }
+            }
+            E2apPdu::SubscriptionRequest { request_id, ran_function, report_period_ms, .. } => {
+                let accepted = ran_function == RAN_FUNCTION_MOBIFLOW && report_period_ms > 0;
+                if accepted {
+                    let period = Duration::from_millis(u64::from(report_period_ms));
+                    self.subscriptions.insert(
+                        request_id,
+                        Subscription {
+                            period,
+                            next_report_at: now + period,
+                            // New subscribers start from "now": they see
+                            // records logged after the subscription.
+                            cursor: self.log.len(),
+                            sequence: 0,
+                        },
+                    );
+                }
+                self.transport
+                    .send(&E2apPdu::SubscriptionResponse { request_id, accepted }.encode())
+            }
+            E2apPdu::SubscriptionDeleteRequest { request_id } => {
+                self.subscriptions.remove(&request_id);
+                Ok(())
+            }
+            E2apPdu::ControlRequest { ran_function, payload } => {
+                let success = ran_function == RAN_FUNCTION_MOBIFLOW;
+                if success {
+                    self.control_inbox.push(payload);
+                }
+                self.transport.send(&E2apPdu::ControlAck { ran_function, success }.encode())
+            }
+            // PDUs that only the RIC side should receive are protocol noise.
+            other => Err(XsecError::Ric(format!("unexpected PDU at agent: {other:?}"))),
+        }
+    }
+
+    fn flush_reports(&mut self, now: Timestamp) -> Result<()> {
+        let cell = self.config.cell;
+        let log_len = self.log.len();
+        let mut outgoing = Vec::new();
+        for (request_id, sub) in self.subscriptions.iter_mut() {
+            while sub.next_report_at <= now {
+                let window_start =
+                    sub.next_report_at.as_micros().saturating_sub(sub.period.as_micros());
+                let records = &self.log[sub.cursor..log_len];
+                let indication = KpmIndication::from_records(
+                    cell,
+                    Timestamp(window_start),
+                    sub.next_report_at,
+                    records,
+                );
+                outgoing.push(
+                    E2apPdu::Indication {
+                        request_id: *request_id,
+                        ran_function: RAN_FUNCTION_MOBIFLOW,
+                        sequence: sub.sequence,
+                        payload: indication.encode(),
+                    }
+                    .encode(),
+                );
+                sub.sequence += 1;
+                sub.cursor = log_len;
+                sub.next_report_at += sub.period;
+            }
+        }
+        for frame in outgoing {
+            self.transport.send(&frame)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{in_proc_pair, InProcTransport};
+    use xsec_proto::{Direction, MessageKind};
+    use xsec_types::Rnti;
+
+    fn record(id: u64, ts: u64) -> UeMobiFlow {
+        UeMobiFlow {
+            msg_id: id,
+            timestamp: Timestamp(ts),
+            cell: CellId(1),
+            rnti: Rnti(1),
+            du_ue_id: 1,
+            direction: Direction::Uplink,
+            msg: MessageKind::RrcSetupRequest,
+            tmsi: None,
+            supi: None,
+            cipher_alg: None,
+            integrity_alg: None,
+            establishment_cause: None,
+            release_cause: None,
+        }
+    }
+
+    fn agent() -> (RicAgent<InProcTransport>, InProcTransport) {
+        let (agent_end, mut ric_end) = in_proc_pair();
+        let agent = RicAgent::new(
+            RicAgentConfig { gnb_id: GnbId(7), cell: CellId(1) },
+            agent_end,
+        )
+        .unwrap();
+        // The setup request is already on the wire.
+        let frame = ric_end.try_recv().unwrap().unwrap();
+        assert!(matches!(
+            E2apPdu::decode(&frame).unwrap(),
+            E2apPdu::SetupRequest { gnb_id: GnbId(7), .. }
+        ));
+        (agent, ric_end)
+    }
+
+    fn complete_setup(agent: &mut RicAgent<InProcTransport>, ric: &mut InProcTransport) {
+        ric.send(&E2apPdu::SetupResponse { accepted: vec![RAN_FUNCTION_MOBIFLOW] }.encode())
+            .unwrap();
+        agent.poll(Timestamp(0)).unwrap();
+        assert!(agent.is_setup());
+    }
+
+    fn subscribe(
+        agent: &mut RicAgent<InProcTransport>,
+        ric: &mut InProcTransport,
+        period_ms: u32,
+    ) -> RicRequestId {
+        let request_id = RicRequestId { requestor: 1, instance: 1 };
+        ric.send(
+            &E2apPdu::SubscriptionRequest {
+                request_id,
+                ran_function: RAN_FUNCTION_MOBIFLOW,
+                report_period_ms: period_ms,
+                actions: vec![crate::e2ap::RicAction::Report],
+            }
+            .encode(),
+        )
+        .unwrap();
+        agent.poll(Timestamp(0)).unwrap();
+        let frame = ric.try_recv().unwrap().unwrap();
+        assert_eq!(
+            E2apPdu::decode(&frame).unwrap(),
+            E2apPdu::SubscriptionResponse { request_id, accepted: true }
+        );
+        request_id
+    }
+
+    #[test]
+    fn setup_handshake() {
+        let (mut agent, mut ric) = agent();
+        complete_setup(&mut agent, &mut ric);
+    }
+
+    #[test]
+    fn setup_rejection_is_an_error() {
+        let (mut agent, mut ric) = agent();
+        ric.send(&E2apPdu::SetupResponse { accepted: vec![] }.encode()).unwrap();
+        assert!(agent.poll(Timestamp(0)).is_err());
+    }
+
+    #[test]
+    fn periodic_reports_carry_the_buffered_records() {
+        let (mut agent, mut ric) = agent();
+        complete_setup(&mut agent, &mut ric);
+        let request_id = subscribe(&mut agent, &mut ric, 100);
+
+        agent.push_record(record(0, 10_000));
+        agent.push_record(record(1, 20_000));
+        // Before the period elapses: nothing.
+        agent.poll(Timestamp(50_000)).unwrap();
+        assert_eq!(ric.try_recv().unwrap(), None);
+        // Period elapsed: one indication with both records.
+        agent.poll(Timestamp(100_000)).unwrap();
+        let frame = ric.try_recv().unwrap().unwrap();
+        let E2apPdu::Indication { request_id: rid, sequence, payload, .. } =
+            E2apPdu::decode(&frame).unwrap()
+        else {
+            panic!("expected indication");
+        };
+        assert_eq!(rid, request_id);
+        assert_eq!(sequence, 0);
+        let kpm = KpmIndication::decode(&payload).unwrap();
+        assert_eq!(kpm.mobiflow_records().unwrap().len(), 2);
+        assert_eq!(agent.backlog(), 0);
+    }
+
+    #[test]
+    fn records_are_not_resent() {
+        let (mut agent, mut ric) = agent();
+        complete_setup(&mut agent, &mut ric);
+        subscribe(&mut agent, &mut ric, 100);
+        agent.push_record(record(0, 10_000));
+        agent.poll(Timestamp(100_000)).unwrap();
+        let _ = ric.try_recv().unwrap().unwrap();
+        // Next period with no new records: an empty indication.
+        agent.poll(Timestamp(200_000)).unwrap();
+        let frame = ric.try_recv().unwrap().unwrap();
+        let E2apPdu::Indication { payload, sequence, .. } = E2apPdu::decode(&frame).unwrap()
+        else {
+            panic!("expected indication");
+        };
+        assert_eq!(sequence, 1);
+        assert!(KpmIndication::decode(&payload).unwrap().mobiflow_records().unwrap().is_empty());
+    }
+
+    #[test]
+    fn subscription_delete_stops_reports() {
+        let (mut agent, mut ric) = agent();
+        complete_setup(&mut agent, &mut ric);
+        let request_id = subscribe(&mut agent, &mut ric, 100);
+        ric.send(&E2apPdu::SubscriptionDeleteRequest { request_id }.encode()).unwrap();
+        agent.poll(Timestamp(0)).unwrap();
+        assert_eq!(agent.subscription_count(), 0);
+        agent.push_record(record(0, 10));
+        agent.poll(Timestamp(500_000)).unwrap();
+        assert_eq!(ric.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn wrong_function_subscription_is_refused() {
+        let (mut agent, mut ric) = agent();
+        complete_setup(&mut agent, &mut ric);
+        let request_id = RicRequestId { requestor: 9, instance: 9 };
+        ric.send(
+            &E2apPdu::SubscriptionRequest {
+                request_id,
+                ran_function: 999,
+                report_period_ms: 100,
+                actions: vec![],
+            }
+            .encode(),
+        )
+        .unwrap();
+        agent.poll(Timestamp(0)).unwrap();
+        let frame = ric.try_recv().unwrap().unwrap();
+        assert_eq!(
+            E2apPdu::decode(&frame).unwrap(),
+            E2apPdu::SubscriptionResponse { request_id, accepted: false }
+        );
+    }
+
+    #[test]
+    fn control_requests_reach_the_inbox_and_are_acked() {
+        let (mut agent, mut ric) = agent();
+        complete_setup(&mut agent, &mut ric);
+        ric.send(
+            &E2apPdu::ControlRequest {
+                ran_function: RAN_FUNCTION_MOBIFLOW,
+                payload: vec![9, 9],
+            }
+            .encode(),
+        )
+        .unwrap();
+        agent.poll(Timestamp(0)).unwrap();
+        assert_eq!(agent.take_control_requests(), vec![vec![9, 9]]);
+        let frame = ric.try_recv().unwrap().unwrap();
+        assert_eq!(
+            E2apPdu::decode(&frame).unwrap(),
+            E2apPdu::ControlAck { ran_function: RAN_FUNCTION_MOBIFLOW, success: true }
+        );
+    }
+
+    #[test]
+    fn multiple_subscribers_get_independent_streams() {
+        let (mut agent, mut ric) = agent();
+        complete_setup(&mut agent, &mut ric);
+        subscribe(&mut agent, &mut ric, 100);
+        // Second subscriber with a different id and period.
+        let rid2 = RicRequestId { requestor: 2, instance: 1 };
+        ric.send(
+            &E2apPdu::SubscriptionRequest {
+                request_id: rid2,
+                ran_function: RAN_FUNCTION_MOBIFLOW,
+                report_period_ms: 200,
+                actions: vec![crate::e2ap::RicAction::Report],
+            }
+            .encode(),
+        )
+        .unwrap();
+        agent.poll(Timestamp(0)).unwrap();
+        let _ = ric.try_recv().unwrap().unwrap(); // sub response
+
+        agent.push_record(record(0, 1));
+        agent.poll(Timestamp(200_000)).unwrap();
+        // Subscriber 1 gets two reports (t=100ms, t=200ms), subscriber 2 one.
+        let mut indications = Vec::new();
+        while let Some(frame) = ric.try_recv().unwrap() {
+            indications.push(E2apPdu::decode(&frame).unwrap());
+        }
+        let count = indications
+            .iter()
+            .filter(|p| matches!(p, E2apPdu::Indication { .. }))
+            .count();
+        assert_eq!(count, 3, "got {indications:?}");
+    }
+}

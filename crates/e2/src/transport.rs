@@ -1,0 +1,185 @@
+//! E2 transports: the byte pipes between the RIC agent and the RIC's E2
+//! termination.
+//!
+//! Two implementations behind one trait:
+//!
+//! * [`InProcTransport`] — crossbeam channel pair; what tests and the
+//!   single-process pipeline use.
+//! * [`TcpTransport`] — a real `std::net::TcpStream` with the length-prefix
+//!   framing from `xsec-proto`, so a RIC and a RAN can run as separate
+//!   processes (the `live_ric_pipeline` example exercises it over
+//!   loopback).
+//!
+//! Both are synchronous with non-blocking `try_recv` semantics — the RIC
+//! platform drives them from its own polling loop.
+
+use crossbeam_channel::{bounded, Receiver, Sender, TryRecvError};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration as StdDuration;
+use xsec_proto::codec::{FrameReader, FrameWriter};
+use xsec_types::{Result, XsecError};
+
+/// A bidirectional, message-oriented E2 byte pipe.
+pub trait E2Transport: Send {
+    /// Sends one message (a full E2AP PDU).
+    fn send(&mut self, frame: &[u8]) -> Result<()>;
+
+    /// Receives the next complete message if one is available.
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>>;
+}
+
+/// In-process transport endpoint.
+pub struct InProcTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+/// Creates a connected in-process transport pair (agent end, RIC end).
+pub fn in_proc_pair() -> (InProcTransport, InProcTransport) {
+    let (a_tx, a_rx) = bounded(4096);
+    let (b_tx, b_rx) = bounded(4096);
+    (InProcTransport { tx: a_tx, rx: b_rx }, InProcTransport { tx: b_tx, rx: a_rx })
+}
+
+impl E2Transport for InProcTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| XsecError::Io("in-proc peer disconnected".into()))
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>> {
+        match self.rx.try_recv() {
+            Ok(frame) => Ok(Some(frame)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => {
+                Err(XsecError::Io("in-proc peer disconnected".into()))
+            }
+        }
+    }
+}
+
+/// TCP transport endpoint with length-prefix framing.
+pub struct TcpTransport {
+    stream: TcpStream,
+    reader: FrameReader,
+    read_buf: Vec<u8>,
+}
+
+impl TcpTransport {
+    /// Wraps a connected stream. The stream is switched to a short read
+    /// timeout so `try_recv` stays effectively non-blocking.
+    pub fn new(stream: TcpStream) -> Result<Self> {
+        stream
+            .set_read_timeout(Some(StdDuration::from_millis(1)))
+            .map_err(|e| XsecError::Io(e.to_string()))?;
+        stream.set_nodelay(true).map_err(|e| XsecError::Io(e.to_string()))?;
+        Ok(TcpTransport { stream, reader: FrameReader::new(), read_buf: vec![0u8; 64 * 1024] })
+    }
+
+    /// Connects to a listening E2 termination.
+    pub fn connect(addr: &str) -> Result<Self> {
+        let stream = TcpStream::connect(addr).map_err(|e| XsecError::Io(e.to_string()))?;
+        Self::new(stream)
+    }
+}
+
+impl E2Transport for TcpTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        let mut writer = FrameWriter::new();
+        writer.write_frame(frame)?;
+        self.stream.write_all(&writer.take()).map_err(|e| XsecError::Io(e.to_string()))
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>> {
+        // Drain one buffered frame first.
+        if let Some(frame) = self.reader.next_frame()? {
+            return Ok(Some(frame));
+        }
+        match self.stream.read(&mut self.read_buf) {
+            Ok(0) => Err(XsecError::Io("connection closed".into())),
+            Ok(n) => {
+                self.reader.extend(&self.read_buf[..n]);
+                self.reader.next_frame()
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(XsecError::Io(e.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn in_proc_round_trip_both_directions() {
+        let (mut a, mut b) = in_proc_pair();
+        a.send(b"hello").unwrap();
+        a.send(b"world").unwrap();
+        assert_eq!(b.try_recv().unwrap(), Some(b"hello".to_vec()));
+        assert_eq!(b.try_recv().unwrap(), Some(b"world".to_vec()));
+        assert_eq!(b.try_recv().unwrap(), None);
+        b.send(b"ack").unwrap();
+        assert_eq!(a.try_recv().unwrap(), Some(b"ack".to_vec()));
+    }
+
+    #[test]
+    fn in_proc_disconnection_is_an_error() {
+        let (mut a, b) = in_proc_pair();
+        drop(b);
+        assert!(a.send(b"x").is_err());
+    }
+
+    #[test]
+    fn tcp_round_trip_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut server = TcpTransport::new(stream).unwrap();
+            // Echo three frames back.
+            let mut echoed = 0;
+            while echoed < 3 {
+                if let Some(frame) = server.try_recv().unwrap() {
+                    server.send(&frame).unwrap();
+                    echoed += 1;
+                }
+            }
+        });
+
+        let mut client = TcpTransport::connect(&addr.to_string()).unwrap();
+        let frames: Vec<Vec<u8>> = vec![vec![], vec![7; 5], vec![1, 2, 3]];
+        for f in &frames {
+            client.send(f).unwrap();
+        }
+        let mut received = Vec::new();
+        while received.len() < 3 {
+            if let Some(frame) = client.try_recv().unwrap() {
+                received.push(frame);
+            }
+        }
+        assert_eq!(received, frames);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_try_recv_without_data_returns_none() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (_stream, _) = listener.accept().unwrap();
+            std::thread::sleep(StdDuration::from_millis(50));
+        });
+        let mut client = TcpTransport::connect(&addr.to_string()).unwrap();
+        assert_eq!(client.try_recv().unwrap(), None);
+        handle.join().unwrap();
+    }
+}

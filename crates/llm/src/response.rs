@@ -1,0 +1,143 @@
+//! Response parsing and detector/LLM cross-comparison.
+//!
+//! §3.3: "the results from MobiWatch and LLM could be cross-compared to
+//! ensure the decisions are indeed reliable ... human supervision is
+//! required in cases such as when the LLM and the anomaly detector generate
+//! contradictory results."
+
+use serde::{Deserialize, Serialize};
+
+/// A completion reduced to its machine-readable core.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParsedResponse {
+    /// The verdict the model committed to.
+    pub anomalous: bool,
+    /// The attack titles the model listed (possibly empty).
+    pub attacks: Vec<String>,
+}
+
+impl ParsedResponse {
+    /// Parses a completion. Accepts the structured `Verdict:` form the
+    /// simulated expert emits, and falls back to keyword heuristics (what
+    /// the paper's authors do manually) for free-form text.
+    pub fn parse(text: &str) -> ParsedResponse {
+        let lower = text.to_lowercase();
+        let anomalous = if let Some(line) =
+            text.lines().find(|l| l.trim_start().starts_with("Verdict:"))
+        {
+            line.to_lowercase().contains("anomalous")
+        } else {
+            // Heuristic: an explicit "benign" verdict wins; otherwise any
+            // anomaly/attack language flags it.
+            let says_benign = lower.contains("benign") && !lower.contains("not benign");
+            let says_anomalous = lower.contains("anomalous")
+                || lower.contains("attack")
+                || lower.contains("malicious");
+            says_anomalous && !says_benign || (says_anomalous && lower.contains("anomalous"))
+        };
+
+        // Numbered list items after a "top ... attacks" header.
+        let mut attacks = Vec::new();
+        let mut in_list = false;
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if trimmed.to_lowercase().contains("possible attacks") {
+                in_list = true;
+                continue;
+            }
+            if in_list {
+                if let Some(rest) = trimmed
+                    .strip_prefix(|c: char| c.is_ascii_digit())
+                    .and_then(|r| r.strip_prefix(". "))
+                {
+                    let title = rest.split(" — ").next().unwrap_or(rest).trim();
+                    attacks.push(title.to_string());
+                } else if !trimmed.is_empty() {
+                    in_list = false;
+                }
+            }
+        }
+        ParsedResponse { anomalous, attacks }
+    }
+}
+
+/// Outcome of comparing the detector's flag with the model's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrossVerdict {
+    /// Both say anomalous — act with confidence.
+    ConfirmedAnomalous,
+    /// Both say benign — no action.
+    ConfirmedBenign,
+    /// Contradictory — queue for human supervision (§3.3).
+    NeedsHumanReview {
+        /// What the pre-filter said.
+        detector_flagged: bool,
+        /// What the model said.
+        llm_flagged: bool,
+    },
+}
+
+/// Cross-compares detector and model decisions.
+pub fn cross_compare(detector_flagged: bool, response: &ParsedResponse) -> CrossVerdict {
+    match (detector_flagged, response.anomalous) {
+        (true, true) => CrossVerdict::ConfirmedAnomalous,
+        (false, false) => CrossVerdict::ConfirmedBenign,
+        (d, l) => CrossVerdict::NeedsHumanReview { detector_flagged: d, llm_flagged: l },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_structured_verdicts() {
+        let text = "Verdict: ANOMALOUS\nstuff\nTop possible attacks:\n\
+                    1. Signaling storm / RRC flooding DoS (BTS DoS) — bad things.\n\
+                    2. TMSI replay denial of service (Blind DoS) — worse things.\n\nmore";
+        let parsed = ParsedResponse::parse(text);
+        assert!(parsed.anomalous);
+        assert_eq!(
+            parsed.attacks,
+            vec![
+                "Signaling storm / RRC flooding DoS (BTS DoS)",
+                "TMSI replay denial of service (Blind DoS)"
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_benign_verdict() {
+        let parsed = ParsedResponse::parse("Verdict: BENIGN\nAll good.");
+        assert!(!parsed.anomalous);
+        assert!(parsed.attacks.is_empty());
+    }
+
+    #[test]
+    fn heuristic_parse_of_freeform_text() {
+        let parsed = ParsedResponse::parse(
+            "... it is likely that the sequences are anomalous. The uniformity and the \
+             unchanging TMSI values indicate potential issues or attacks.",
+        );
+        assert!(parsed.anomalous);
+        let parsed =
+            ParsedResponse::parse("This sequence looks benign: a normal registration.");
+        assert!(!parsed.anomalous);
+    }
+
+    #[test]
+    fn cross_comparison_routes_disagreement_to_humans() {
+        let anomalous = ParsedResponse { anomalous: true, attacks: vec![] };
+        let benign = ParsedResponse { anomalous: false, attacks: vec![] };
+        assert_eq!(cross_compare(true, &anomalous), CrossVerdict::ConfirmedAnomalous);
+        assert_eq!(cross_compare(false, &benign), CrossVerdict::ConfirmedBenign);
+        assert_eq!(
+            cross_compare(true, &benign),
+            CrossVerdict::NeedsHumanReview { detector_flagged: true, llm_flagged: false }
+        );
+        assert_eq!(
+            cross_compare(false, &anomalous),
+            CrossVerdict::NeedsHumanReview { detector_flagged: false, llm_flagged: true }
+        );
+    }
+}

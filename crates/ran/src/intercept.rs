@@ -1,0 +1,186 @@
+//! Man-in-the-middle hooks on the air interface.
+//!
+//! The paper's threat model includes adversarial relays that overshadow or
+//! overwrite unprotected messages between a victim UE and the RAN (AdaptOver,
+//! LTrack, capability-stripping downgrades). An [`Interceptor`] sits on the
+//! Uu path and may pass, drop, or replace each message; a replacement can
+//! also taint the victim's connection so the evaluation harness labels the
+//! fallout correctly.
+
+use xsec_proto::{L3Message, MessageKind};
+use xsec_types::{AttackKind, UeId};
+
+/// How far a tampering's ground-truth label extends (the paper labels "each
+/// malicious telemetry entry", not whole sessions — except where the attack
+/// genuinely corrupts the rest of the session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaintScope {
+    /// Skip the victim's next `skip` messages (tampered slots whose
+    /// telemetry content is indistinguishable from benign traffic), then
+    /// attack-label the following `label` messages (the observable fallout,
+    /// e.g. the provoked plaintext identity response).
+    Burst {
+        /// Unobservable tampered messages to leave benign-labeled.
+        skip: u32,
+        /// Observable malicious entries to label.
+        label: u32,
+    },
+    /// Everything from here to the end of the victim's session is
+    /// attack-labeled (e.g. a downgraded session stays downgraded).
+    Session,
+    /// Label the victim's messages from the first `from`-kind message
+    /// through the first `to`-kind message (inclusive) — anchored on
+    /// message kinds, so channel retransmissions cannot shift the labels.
+    Span {
+        /// The kind that opens the labeled span.
+        from: MessageKind,
+        /// The kind that closes it.
+        to: MessageKind,
+    },
+}
+
+/// What the interceptor decided for one message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Intercept {
+    /// Deliver unchanged.
+    Pass,
+    /// Silently drop the message.
+    Drop,
+    /// Deliver `message` instead, labeling the affected traffic with
+    /// `taint` over `scope` (ground truth for evaluation).
+    Replace {
+        /// The substituted message.
+        message: L3Message,
+        /// Attack to attribute the tampering (and the victim's induced
+        /// responses) to.
+        taint: AttackKind,
+        /// How many of the victim's subsequent messages the label covers.
+        scope: TaintScope,
+    },
+}
+
+/// A MiTM attached to the air interface.
+///
+/// Both callbacks see every message along with the ground-truth UE identity
+/// (the simulator knows who is who; a real attacker would filter by RNTI —
+/// the identity is provided for targeting convenience and determinism).
+pub trait Interceptor {
+    /// Inspects a downlink message about to be delivered to `ue`.
+    fn on_downlink(&mut self, ue: UeId, msg: &L3Message) -> Intercept {
+        let _ = (ue, msg);
+        Intercept::Pass
+    }
+
+    /// Inspects an uplink message about to be delivered to the network.
+    fn on_uplink(&mut self, ue: UeId, msg: &L3Message) -> Intercept {
+        let _ = (ue, msg);
+        Intercept::Pass
+    }
+}
+
+/// A no-op interceptor (the default air interface).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PassThrough;
+
+impl Interceptor for PassThrough {}
+
+/// Runs several interceptors in order; the first non-[`Intercept::Pass`]
+/// decision wins. Lets a passive sniffer coexist with an active MiTM, or
+/// several attacks run in one scenario.
+#[derive(Default)]
+pub struct Chain {
+    links: Vec<Box<dyn Interceptor>>,
+}
+
+impl Chain {
+    /// An empty chain (equivalent to [`PassThrough`]).
+    pub fn new() -> Self {
+        Chain::default()
+    }
+
+    /// Appends an interceptor.
+    pub fn push(mut self, link: Box<dyn Interceptor>) -> Self {
+        self.links.push(link);
+        self
+    }
+}
+
+impl Interceptor for Chain {
+    fn on_downlink(&mut self, ue: UeId, msg: &L3Message) -> Intercept {
+        for link in &mut self.links {
+            match link.on_downlink(ue, msg) {
+                Intercept::Pass => continue,
+                decision => return decision,
+            }
+        }
+        Intercept::Pass
+    }
+
+    fn on_uplink(&mut self, ue: UeId, msg: &L3Message) -> Intercept {
+        for link in &mut self.links {
+            match link.on_uplink(ue, msg) {
+                Intercept::Pass => continue,
+                decision => return decision,
+            }
+        }
+        Intercept::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsec_proto::RrcMessage;
+
+    #[test]
+    fn passthrough_passes_everything() {
+        let mut mitm = PassThrough;
+        let msg = L3Message::Rrc(RrcMessage::Setup);
+        assert_eq!(mitm.on_downlink(UeId(1), &msg), Intercept::Pass);
+        assert_eq!(mitm.on_uplink(UeId(1), &msg), Intercept::Pass);
+    }
+
+    #[test]
+    fn chain_first_decision_wins() {
+        struct Dropper;
+        impl Interceptor for Dropper {
+            fn on_uplink(&mut self, _ue: UeId, _msg: &L3Message) -> Intercept {
+                Intercept::Drop
+            }
+        }
+        let mut chain = Chain::new().push(Box::new(PassThrough)).push(Box::new(Dropper));
+        let msg = L3Message::Rrc(RrcMessage::Setup);
+        assert_eq!(chain.on_uplink(UeId(1), &msg), Intercept::Drop);
+        // Downlink: Dropper only drops uplink, so the chain passes.
+        assert_eq!(chain.on_downlink(UeId(1), &msg), Intercept::Pass);
+    }
+
+    #[test]
+    fn empty_chain_passes() {
+        let mut chain = Chain::new();
+        let msg = L3Message::Rrc(RrcMessage::Setup);
+        assert_eq!(chain.on_uplink(UeId(1), &msg), Intercept::Pass);
+    }
+
+    #[test]
+    fn replace_carries_taint() {
+        struct Downgrader;
+        impl Interceptor for Downgrader {
+            fn on_downlink(&mut self, _ue: UeId, msg: &L3Message) -> Intercept {
+                Intercept::Replace {
+                    message: msg.clone(),
+                    taint: AttackKind::NullCipher,
+                    scope: TaintScope::Session,
+                }
+            }
+        }
+        let mut mitm = Downgrader;
+        match mitm.on_downlink(UeId(9), &L3Message::Rrc(RrcMessage::Setup)) {
+            Intercept::Replace { taint, scope, .. } => {
+                assert_eq!(taint, AttackKind::NullCipher);
+                assert_eq!(scope, TaintScope::Session);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! RMR-style topic router for xApp↔xApp messaging.
+//!
+//! The OSC platform routes messages between xApps by message type through
+//! RMR. Ours is a topic-keyed fan-out over crossbeam channels: publishers
+//! never block (the channel is bounded; a slow subscriber drops oldest-first
+//! is *not* implemented — instead sends to a full mailbox count as drops,
+//! which the stats expose, because silently blocking the near-RT loop would
+//! violate its budget).
+
+use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const MAILBOX_DEPTH: usize = 1024;
+
+#[derive(Default)]
+struct Inner {
+    topics: HashMap<String, Vec<Sender<Vec<u8>>>>,
+    published: u64,
+    dropped: u64,
+}
+
+/// A cloneable router handle.
+#[derive(Clone, Default)]
+pub struct Router {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Router {
+    /// An empty router.
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    /// Subscribes to a topic; returns the mailbox end.
+    pub fn subscribe(&self, topic: &str) -> Receiver<Vec<u8>> {
+        let (tx, rx) = bounded(MAILBOX_DEPTH);
+        self.inner.lock().topics.entry(topic.to_string()).or_default().push(tx);
+        rx
+    }
+
+    /// Publishes a payload to every subscriber of `topic`. Returns how many
+    /// mailboxes accepted it.
+    pub fn publish(&self, topic: &str, payload: &[u8]) -> usize {
+        let mut inner = self.inner.lock();
+        inner.published += 1;
+        let mut delivered = 0;
+        let mut dropped = 0;
+        if let Some(subs) = inner.topics.get_mut(topic) {
+            // Prune disconnected subscribers as we go.
+            subs.retain(|tx| match tx.try_send(payload.to_vec()) {
+                Ok(()) => {
+                    delivered += 1;
+                    true
+                }
+                Err(TrySendError::Full(_)) => {
+                    dropped += 1;
+                    true
+                }
+                Err(TrySendError::Disconnected(_)) => false,
+            });
+        }
+        inner.dropped += dropped;
+        delivered
+    }
+
+    /// `(published, dropped)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.published, inner.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_reaches_all_subscribers() {
+        let router = Router::new();
+        let a = router.subscribe("anomalies");
+        let b = router.subscribe("anomalies");
+        let delivered = router.publish("anomalies", b"alert");
+        assert_eq!(delivered, 2);
+        assert_eq!(a.try_recv().unwrap(), b"alert");
+        assert_eq!(b.try_recv().unwrap(), b"alert");
+    }
+
+    #[test]
+    fn topics_are_isolated() {
+        let router = Router::new();
+        let a = router.subscribe("a");
+        router.publish("b", b"x");
+        assert!(a.try_recv().is_err());
+        assert_eq!(router.publish("nobody-listens", b"x"), 0);
+    }
+
+    #[test]
+    fn disconnected_subscribers_are_pruned() {
+        let router = Router::new();
+        let rx = router.subscribe("t");
+        drop(rx);
+        assert_eq!(router.publish("t", b"x"), 0);
+    }
+
+    #[test]
+    fn full_mailboxes_count_as_drops() {
+        let router = Router::new();
+        let _rx = router.subscribe("t");
+        for _ in 0..MAILBOX_DEPTH {
+            router.publish("t", b"fill");
+        }
+        let delivered = router.publish("t", b"overflow");
+        assert_eq!(delivered, 0);
+        let (published, dropped) = router.stats();
+        assert_eq!(published, MAILBOX_DEPTH as u64 + 1);
+        assert_eq!(dropped, 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! The xApp framework: what a control-plane application implements to run
+//! on the platform.
+
+use crate::router::Router;
+use xsec_mobiflow::{SharedDataLayer, UeMobiFlow};
+use xsec_types::Timestamp;
+
+/// Everything an xApp may touch while handling an event.
+pub struct XAppContext<'a> {
+    /// The shared data layer.
+    pub sdl: &'a SharedDataLayer,
+    /// The message router.
+    pub router: &'a Router,
+    /// Control payloads the xApp wants sent back to the RAN over E2
+    /// (closed-loop feedback); the platform drains and ships them.
+    pub control_out: &'a mut Vec<Vec<u8>>,
+}
+
+impl XAppContext<'_> {
+    /// Publishes a message to other xApps.
+    pub fn publish(&self, topic: &str, payload: &[u8]) {
+        self.router.publish(topic, payload);
+    }
+
+    /// Queues a closed-loop control action toward the RAN.
+    pub fn send_control(&mut self, payload: Vec<u8>) {
+        self.control_out.push(payload);
+    }
+}
+
+/// A control-plane application hosted by the nRT-RIC.
+pub trait XApp: Send {
+    /// Stable application name (used for routing and reports).
+    fn name(&self) -> &str;
+
+    /// Called once when the platform starts the app.
+    fn on_start(&mut self, ctx: &mut XAppContext<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called with each batch of telemetry records delivered by an E2
+    /// indication this app subscribed to. `window_end` is the report
+    /// window's closing timestamp (virtual network time).
+    fn on_records(
+        &mut self,
+        ctx: &mut XAppContext<'_>,
+        records: &[UeMobiFlow],
+        window_end: Timestamp,
+    );
+
+    /// Called for messages published to topics this app registered for via
+    /// [`crate::platform::SubscriptionSpec::topics`].
+    fn on_message(&mut self, ctx: &mut XAppContext<'_>, topic: &str, payload: &[u8]) {
+        let _ = (ctx, topic, payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: usize,
+    }
+
+    impl XApp for Recorder {
+        fn name(&self) -> &str {
+            "recorder"
+        }
+
+        fn on_records(
+            &mut self,
+            ctx: &mut XAppContext<'_>,
+            records: &[UeMobiFlow],
+            _window_end: Timestamp,
+        ) {
+            self.seen += records.len();
+            ctx.publish("seen", &(self.seen as u32).to_be_bytes());
+            ctx.send_control(b"act".to_vec());
+        }
+    }
+
+    #[test]
+    fn context_plumbing_works() {
+        let sdl = SharedDataLayer::new();
+        let router = Router::new();
+        let rx = router.subscribe("seen");
+        let mut control = Vec::new();
+        let mut ctx = XAppContext { sdl: &sdl, router: &router, control_out: &mut control };
+        let mut app = Recorder { seen: 0 };
+        app.on_records(&mut ctx, &[], Timestamp(0));
+        assert_eq!(rx.try_recv().unwrap(), 0u32.to_be_bytes().to_vec());
+        assert_eq!(control, vec![b"act".to_vec()]);
+    }
+}

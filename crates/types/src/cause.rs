@@ -1,0 +1,147 @@
+//! RRC establishment and release causes (3GPP 38.331 §6.2.2).
+//!
+//! The establishment cause a UE places in `RRCSetupRequest` is one of the
+//! MobiFlow state parameters (Table 1 of the paper). Floods that always use
+//! the same cause — or rotate causes unnaturally — shift its distribution,
+//! which the unsupervised models pick up as part of the multivariate anomaly.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a UE asked to establish an RRC connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EstablishmentCause {
+    /// Emergency call.
+    Emergency,
+    /// Paging response with high priority access.
+    HighPriorityAccess,
+    /// Mobile-terminated access (response to paging).
+    MtAccess,
+    /// Mobile-originated signalling (registration, TAU...).
+    MoSignalling,
+    /// Mobile-originated data.
+    MoData,
+    /// Mobile-originated voice call.
+    MoVoiceCall,
+    /// Mobile-originated SMS.
+    MoSms,
+}
+
+impl EstablishmentCause {
+    /// All causes, in spec order; index equals [`EstablishmentCause::code`].
+    pub const ALL: [EstablishmentCause; 7] = [
+        EstablishmentCause::Emergency,
+        EstablishmentCause::HighPriorityAccess,
+        EstablishmentCause::MtAccess,
+        EstablishmentCause::MoSignalling,
+        EstablishmentCause::MoData,
+        EstablishmentCause::MoVoiceCall,
+        EstablishmentCause::MoSms,
+    ];
+
+    /// Stable numeric code used by the wire codec and featurizer.
+    pub fn code(self) -> u8 {
+        Self::ALL.iter().position(|c| *c == self).expect("cause is in ALL") as u8
+    }
+
+    /// Inverse of [`EstablishmentCause::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        Self::ALL.get(code as usize).copied()
+    }
+}
+
+impl fmt::Display for EstablishmentCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EstablishmentCause::Emergency => "emergency",
+            EstablishmentCause::HighPriorityAccess => "highPriorityAccess",
+            EstablishmentCause::MtAccess => "mt-Access",
+            EstablishmentCause::MoSignalling => "mo-Signalling",
+            EstablishmentCause::MoData => "mo-Data",
+            EstablishmentCause::MoVoiceCall => "mo-VoiceCall",
+            EstablishmentCause::MoSms => "mo-SMS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why the network released an RRC connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ReleaseCause {
+    /// Normal end of session.
+    Normal,
+    /// UE became unreachable / radio link failure.
+    RadioLinkFailure,
+    /// The network rejected or aborted the procedure.
+    NetworkAbort,
+    /// Resource pressure forced the release (e.g. admission control under
+    /// flood — the observable consequence of a successful BTS DoS).
+    Congestion,
+}
+
+impl ReleaseCause {
+    /// Stable numeric code used by the wire codec and featurizer.
+    pub fn code(self) -> u8 {
+        match self {
+            ReleaseCause::Normal => 0,
+            ReleaseCause::RadioLinkFailure => 1,
+            ReleaseCause::NetworkAbort => 2,
+            ReleaseCause::Congestion => 3,
+        }
+    }
+
+    /// Inverse of [`ReleaseCause::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(ReleaseCause::Normal),
+            1 => Some(ReleaseCause::RadioLinkFailure),
+            2 => Some(ReleaseCause::NetworkAbort),
+            3 => Some(ReleaseCause::Congestion),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ReleaseCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReleaseCause::Normal => "normal",
+            ReleaseCause::RadioLinkFailure => "rlf",
+            ReleaseCause::NetworkAbort => "networkAbort",
+            ReleaseCause::Congestion => "congestion",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn establishment_cause_codes_round_trip() {
+        for cause in EstablishmentCause::ALL {
+            assert_eq!(EstablishmentCause::from_code(cause.code()), Some(cause));
+        }
+        assert_eq!(EstablishmentCause::from_code(7), None);
+    }
+
+    #[test]
+    fn release_cause_codes_round_trip() {
+        for cause in [
+            ReleaseCause::Normal,
+            ReleaseCause::RadioLinkFailure,
+            ReleaseCause::NetworkAbort,
+            ReleaseCause::Congestion,
+        ] {
+            assert_eq!(ReleaseCause::from_code(cause.code()), Some(cause));
+        }
+        assert_eq!(ReleaseCause::from_code(4), None);
+    }
+
+    #[test]
+    fn display_uses_spec_spelling() {
+        assert_eq!(EstablishmentCause::MoSignalling.to_string(), "mo-Signalling");
+        assert_eq!(ReleaseCause::Congestion.to_string(), "congestion");
+    }
+}

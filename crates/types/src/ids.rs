@@ -1,0 +1,189 @@
+//! Cellular identifier newtypes.
+//!
+//! Identifiers are deliberately strongly typed: a raw `u32` RNTI and a raw
+//! `u32` TMSI must never be confused, because the anomaly-detection featurizer
+//! treats them as distinct categorical variables and the attack signatures
+//! differ precisely in *which* identifier space is being abused.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Radio Network Temporary Identifier (C-RNTI).
+///
+/// Allocated by the gNB's MAC scheduler when a UE performs random access and
+/// valid for the duration of one RRC connection. 3GPP 38.321 restricts the
+/// usable C-RNTI range to `0x0001..=0xFFEF`; values outside that range are
+/// reserved (e.g. `0xFFFE` = P-RNTI, `0xFFFF` = SI-RNTI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Rnti(pub u16);
+
+impl Rnti {
+    /// Lowest allocatable C-RNTI value.
+    pub const MIN: Rnti = Rnti(0x0001);
+    /// Highest allocatable C-RNTI value.
+    pub const MAX: Rnti = Rnti(0xFFEF);
+
+    /// Returns `true` if this value is inside the allocatable C-RNTI range.
+    pub fn is_valid_c_rnti(self) -> bool {
+        self >= Self::MIN && self <= Self::MAX
+    }
+}
+
+impl fmt::Display for Rnti {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:04X}", self.0)
+    }
+}
+
+/// 5G-S-TMSI: the shortened temporary subscriber identity assigned by the AMF.
+///
+/// The TMSI conceals the permanent identity during idle-mode procedures. The
+/// AMF is expected to reallocate it periodically; observing the *same* TMSI
+/// across many supposedly independent connection attempts is the signature the
+/// paper's Blind DoS trace exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tmsi(pub u32);
+
+impl fmt::Display for Tmsi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Subscription Permanent Identifier in IMSI form (`imsi-<mcc><mnc><msin>`).
+///
+/// A SUPI must only ever cross the air interface concealed as a SUCI; the
+/// MobiFlow telemetry records whenever one is observed in plaintext, which is
+/// the core signal of identity-extraction attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Supi {
+    /// Home network PLMN.
+    pub plmn: Plmn,
+    /// Mobile Subscriber Identification Number (up to 10 digits).
+    pub msin: u64,
+}
+
+impl Supi {
+    /// Builds a SUPI from its PLMN and MSIN parts.
+    pub fn new(plmn: Plmn, msin: u64) -> Self {
+        Supi { plmn, msin }
+    }
+}
+
+impl fmt::Display for Supi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "imsi-{:03}{:02}{:010}", self.plmn.mcc, self.plmn.mnc, self.msin)
+    }
+}
+
+/// Public Land Mobile Network identifier (MCC + MNC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Plmn {
+    /// Mobile Country Code (3 digits).
+    pub mcc: u16,
+    /// Mobile Network Code (2-3 digits; 2 assumed for display).
+    pub mnc: u16,
+}
+
+impl Plmn {
+    /// The test PLMN `001/01` used throughout the simulated network, matching
+    /// the OAI default configuration the paper's testbed uses.
+    pub const TEST: Plmn = Plmn { mcc: 1, mnc: 1 };
+}
+
+impl fmt::Display for Plmn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:03}.{:02}", self.mcc, self.mnc)
+    }
+}
+
+/// Simulator-internal stable identity of a UE instance.
+///
+/// This is *not* an over-the-air identifier: the simulator uses it as ground
+/// truth to join events back to the device that produced them, e.g. when
+/// labeling attack traces. Telemetry never exposes it to the detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UeId(pub u64);
+
+impl fmt::Display for UeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ue#{}", self.0)
+    }
+}
+
+/// gNodeB (base station) identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GnbId(pub u32);
+
+impl fmt::Display for GnbId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gnb#{}", self.0)
+    }
+}
+
+/// NR Cell Identity within a gNB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellId(pub u32);
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rnti_display_is_hex() {
+        assert_eq!(Rnti(0x5F).to_string(), "0x005F");
+        assert_eq!(Rnti(0xFFEF).to_string(), "0xFFEF");
+    }
+
+    #[test]
+    fn rnti_validity_range() {
+        assert!(!Rnti(0x0000).is_valid_c_rnti());
+        assert!(Rnti(0x0001).is_valid_c_rnti());
+        assert!(Rnti(0xFFEF).is_valid_c_rnti());
+        assert!(!Rnti(0xFFF0).is_valid_c_rnti());
+        assert!(!Rnti(0xFFFF).is_valid_c_rnti());
+    }
+
+    #[test]
+    fn supi_display_matches_imsi_form() {
+        let supi = Supi::new(Plmn::TEST, 1234567890);
+        assert_eq!(supi.to_string(), "imsi-001011234567890");
+    }
+
+    #[test]
+    fn supi_display_pads_short_msin() {
+        let supi = Supi::new(Plmn { mcc: 310, mnc: 26 }, 42);
+        assert_eq!(supi.to_string(), "imsi-310260000000042");
+    }
+
+    #[test]
+    fn tmsi_display_is_decimal() {
+        assert_eq!(Tmsi(0xDEADBEEF).to_string(), "3735928559");
+    }
+
+    #[test]
+    fn identifiers_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Rnti(1));
+        set.insert(Rnti(1));
+        set.insert(Rnti(2));
+        assert_eq!(set.len(), 2);
+        assert!(Rnti(1) < Rnti(2));
+        assert!(Tmsi(9) > Tmsi(3));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let supi = Supi::new(Plmn::TEST, 77);
+        let json = serde_json::to_string(&supi).unwrap();
+        let back: Supi = serde_json::from_str(&json).unwrap();
+        assert_eq!(supi, back);
+    }
+}
