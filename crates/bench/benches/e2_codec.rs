@@ -15,9 +15,9 @@ fn record(id: u64) -> UeMobiFlow {
         cell: CellId(1),
         rnti: Rnti(0x4601 + (id % 64) as u16),
         du_ue_id: (id % 64) as u32,
-        direction: if id % 2 == 0 { Direction::Uplink } else { Direction::Downlink },
+        direction: if id.is_multiple_of(2) { Direction::Uplink } else { Direction::Downlink },
         msg: MessageKind::ALL[(id as usize) % MessageKind::ALL.len()],
-        tmsi: (id % 3 == 0).then(|| xsec_types::Tmsi(id as u32)),
+        tmsi: id.is_multiple_of(3).then_some(xsec_types::Tmsi(id as u32)),
         supi: None,
         cipher_alg: None,
         integrity_alg: None,

@@ -66,7 +66,7 @@ fn bench(c: &mut Criterion) {
     }
 
     // Sanity constant so readers can relate the numbers to the budget.
-    assert!(FEATURES_PER_RECORD > 0);
+    const { assert!(FEATURES_PER_RECORD > 0) };
 }
 
 criterion_group!(benches, bench);

@@ -1,0 +1,103 @@
+//! Latency of the mitigation control path: action TLV codec, policy
+//! decisions, and the executor's submit→ship→ack round trip. These are the
+//! RIC-side costs added on top of detection inside the near-RT loop — the
+//! budget is 10 ms–1 s per O-RAN control cycle, so every number here must
+//! be microseconds-scale noise against it.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use xsec_control::{
+    ActionExecutor, ControlAction, MitigationAction, PolicyEngine, ThreatAssessment,
+};
+use xsec_types::{AttackKind, CellId, Duration, EstablishmentCause, ReleaseCause, Rnti, Timestamp};
+
+fn sample_actions() -> Vec<ControlAction> {
+    let ttl = Duration::from_secs(10);
+    vec![
+        ControlAction {
+            id: 1,
+            ttl,
+            action: MitigationAction::ReleaseUe { conn: 42, cause: ReleaseCause::NetworkAbort },
+        },
+        ControlAction {
+            id: 2,
+            ttl,
+            action: MitigationAction::BlacklistRnti { rnti: Rnti(0x4601) },
+        },
+        ControlAction { id: 3, ttl, action: MitigationAction::ForceReauth { conn: 7 } },
+        ControlAction { id: 4, ttl, action: MitigationAction::QuarantineCell { cell: CellId(1) } },
+        ControlAction {
+            id: 5,
+            ttl,
+            action: MitigationAction::RateLimitCause {
+                cause: EstablishmentCause::MoSignalling,
+                max_setups: 1,
+                window: Duration::from_secs(1),
+            },
+        },
+    ]
+}
+
+fn flood_assessment() -> ThreatAssessment {
+    ThreatAssessment {
+        attack: Some(AttackKind::BtsDos),
+        confidence: 0.9,
+        llm_confirmed: true,
+        detected_at: Timestamp(1_000_000),
+        cell: CellId(1),
+        suspect_conns: (1..=16).collect(),
+        suspect_rntis: (0..16).map(|i| Rnti(0x4601 + i)).collect(),
+        dominant_cause: Some(EstablishmentCause::MoSignalling),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mitigation");
+    let actions = sample_actions();
+    let encoded: Vec<Vec<u8>> = actions.iter().map(|a| a.encode()).collect();
+
+    group.throughput(Throughput::Elements(actions.len() as u64));
+    group.bench_function("action_tlv_encode_all_variants", |b| {
+        b.iter(|| actions.iter().map(|a| a.encode()).collect::<Vec<_>>())
+    });
+    group.bench_function("action_tlv_decode_all_variants", |b| {
+        b.iter(|| {
+            encoded
+                .iter()
+                .map(|e| ControlAction::decode(e).unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("policy_decide_flood_playbook", |b| {
+        let assessment = flood_assessment();
+        b.iter_batched(
+            PolicyEngine::default,
+            |mut engine| engine.decide(&assessment),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("executor_submit_ship_ack_round_trip", |b| {
+        let batch = sample_actions();
+        b.iter_batched(
+            ActionExecutor::default,
+            |mut ex| {
+                let t0 = Timestamp(1_000_000);
+                for action in &batch {
+                    ex.submit(action.clone(), t0, t0);
+                }
+                let shipped = ex.take_due(t0);
+                for _ in 0..shipped.len() {
+                    ex.on_ack(true, Timestamp(1_100_000));
+                }
+                ex.tally()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

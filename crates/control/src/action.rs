@@ -1,0 +1,361 @@
+//! The typed mitigation-action vocabulary and its TLV wire codec.
+//!
+//! Actions ride inside `E2AP Control Request` payloads (the control
+//! primitive), so they need a deterministic binary form the RAN agent can
+//! decode without any shared in-process state. The payload is a flat TLV
+//! sequence — tag byte, `u16` length, value — with one header TLV for the
+//! correlation id, one for the TTL, and exactly one action-body TLV. TLV
+//! (rather than a fixed struct layout) keeps the control sub-codec
+//! forward-extensible the way E2SM payloads are.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use xsec_types::{
+    CellId, Duration, EstablishmentCause, ReleaseCause, Result, Rnti, XsecError,
+};
+
+fn err(msg: impl Into<String>) -> XsecError {
+    XsecError::Codec(msg.into())
+}
+
+/// One enforcement primitive the RIC can ask the RAN to apply.
+///
+/// Scopes differ per action: a single connection (`ReleaseUe`,
+/// `ForceReauth`), a single radio identity (`BlacklistRnti`), one
+/// establishment cause (`RateLimitCause`), or the whole cell
+/// (`QuarantineCell`). Every action is bounded by the TTL carried in its
+/// [`ControlAction`] envelope — mitigations decay instead of accreting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MitigationAction {
+    /// Release one RRC connection with the given cause.
+    ReleaseUe {
+        /// DU-local UE association to tear down.
+        conn: u32,
+        /// Release cause sent to the UE.
+        cause: ReleaseCause,
+    },
+    /// Drop all uplink traffic from a C-RNTI at the MAC and refuse to
+    /// re-allocate it while the TTL lasts.
+    BlacklistRnti {
+        /// The radio identity to silence.
+        rnti: Rnti,
+    },
+    /// Detach one connection with a network abort so the subscriber's next
+    /// attach runs the full authentication ladder again (the simulated AMF
+    /// always challenges a fresh SUCI registration).
+    ForceReauth {
+        /// DU-local UE association to detach.
+        conn: u32,
+    },
+    /// Stop admitting *any* new RRC connection on the cell while the TTL
+    /// lasts (existing sessions continue).
+    QuarantineCell {
+        /// The cell to quarantine.
+        cell: CellId,
+    },
+    /// Cap new admissions carrying one establishment cause to
+    /// `max_setups` per sliding `window`; excess setup requests are
+    /// silently dropped at the MAC.
+    RateLimitCause {
+        /// The establishment cause under rate control.
+        cause: EstablishmentCause,
+        /// Admissions allowed per window.
+        max_setups: u16,
+        /// Sliding window length.
+        window: Duration,
+    },
+}
+
+impl MitigationAction {
+    /// A short stable name for reports and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MitigationAction::ReleaseUe { .. } => "release-ue",
+            MitigationAction::BlacklistRnti { .. } => "blacklist-rnti",
+            MitigationAction::ForceReauth { .. } => "force-reauth",
+            MitigationAction::QuarantineCell { .. } => "quarantine-cell",
+            MitigationAction::RateLimitCause { .. } => "rate-limit-cause",
+        }
+    }
+}
+
+/// A mitigation action plus its control-plane envelope: a correlation id
+/// (unique per policy engine) and the TTL bounding the enforcement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlAction {
+    /// Correlation id assigned by the policy engine.
+    pub id: u32,
+    /// How long the RAN should keep enforcing the action.
+    pub ttl: Duration,
+    /// The enforcement primitive itself.
+    pub action: MitigationAction,
+}
+
+// TLV tags. Header TLVs first, then one body tag per action variant.
+const TAG_ACTION_ID: u8 = 0x01;
+const TAG_TTL: u8 = 0x02;
+const TAG_RELEASE_UE: u8 = 0x10;
+const TAG_BLACKLIST_RNTI: u8 = 0x11;
+const TAG_FORCE_REAUTH: u8 = 0x12;
+const TAG_QUARANTINE_CELL: u8 = 0x13;
+const TAG_RATE_LIMIT_CAUSE: u8 = 0x14;
+
+fn release_cause_code(cause: ReleaseCause) -> u8 {
+    match cause {
+        ReleaseCause::Normal => 0,
+        ReleaseCause::RadioLinkFailure => 1,
+        ReleaseCause::NetworkAbort => 2,
+        ReleaseCause::Congestion => 3,
+    }
+}
+
+fn release_cause_from_code(code: u8) -> Result<ReleaseCause> {
+    match code {
+        0 => Ok(ReleaseCause::Normal),
+        1 => Ok(ReleaseCause::RadioLinkFailure),
+        2 => Ok(ReleaseCause::NetworkAbort),
+        3 => Ok(ReleaseCause::Congestion),
+        other => Err(err(format!("unknown release cause code {other}"))),
+    }
+}
+
+fn establishment_cause_code(cause: EstablishmentCause) -> u8 {
+    EstablishmentCause::ALL
+        .iter()
+        .position(|c| *c == cause)
+        .expect("every cause is in ALL") as u8
+}
+
+fn establishment_cause_from_code(code: u8) -> Result<EstablishmentCause> {
+    EstablishmentCause::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| err(format!("unknown establishment cause code {code}")))
+}
+
+fn put_tlv(buf: &mut BytesMut, tag: u8, value: &[u8]) {
+    buf.put_u8(tag);
+    buf.put_u16(value.len() as u16);
+    buf.put_slice(value);
+}
+
+impl ControlAction {
+    /// Encodes the action into a Control Request payload (TLV sequence).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(32);
+        put_tlv(&mut buf, TAG_ACTION_ID, &self.id.to_be_bytes());
+        put_tlv(&mut buf, TAG_TTL, &self.ttl.as_micros().to_be_bytes());
+        let mut body = BytesMut::with_capacity(16);
+        let tag = match &self.action {
+            MitigationAction::ReleaseUe { conn, cause } => {
+                body.put_u32(*conn);
+                body.put_u8(release_cause_code(*cause));
+                TAG_RELEASE_UE
+            }
+            MitigationAction::BlacklistRnti { rnti } => {
+                body.put_u16(rnti.0);
+                TAG_BLACKLIST_RNTI
+            }
+            MitigationAction::ForceReauth { conn } => {
+                body.put_u32(*conn);
+                TAG_FORCE_REAUTH
+            }
+            MitigationAction::QuarantineCell { cell } => {
+                body.put_u32(cell.0);
+                TAG_QUARANTINE_CELL
+            }
+            MitigationAction::RateLimitCause { cause, max_setups, window } => {
+                body.put_u8(establishment_cause_code(*cause));
+                body.put_u16(*max_setups);
+                body.put_u64(window.as_micros());
+                TAG_RATE_LIMIT_CAUSE
+            }
+        };
+        put_tlv(&mut buf, tag, &body);
+        buf.to_vec()
+    }
+
+    /// Decodes a Control Request payload back into an action.
+    ///
+    /// Strict: unknown tags, duplicated TLVs, truncation, trailing bytes,
+    /// and missing header fields are all errors — a control channel is the
+    /// wrong place for silent tolerance.
+    pub fn decode(payload: &[u8]) -> Result<Self> {
+        let mut buf = Bytes::copy_from_slice(payload);
+        let mut id: Option<u32> = None;
+        let mut ttl: Option<Duration> = None;
+        let mut action: Option<MitigationAction> = None;
+        while buf.has_remaining() {
+            if buf.remaining() < 3 {
+                return Err(err("truncated TLV header"));
+            }
+            let tag = buf.get_u8();
+            let len = buf.get_u16() as usize;
+            if buf.remaining() < len {
+                return Err(err(format!(
+                    "truncated TLV value: tag {tag:#04x} wants {len}, have {}",
+                    buf.remaining()
+                )));
+            }
+            let mut value = buf.split_to(len);
+            match tag {
+                TAG_ACTION_ID => {
+                    take_exact(&value, 4, "action id")?;
+                    set_once(&mut id, value.get_u32(), "action id")?;
+                }
+                TAG_TTL => {
+                    take_exact(&value, 8, "ttl")?;
+                    set_once(&mut ttl, Duration::from_micros(value.get_u64()), "ttl")?;
+                }
+                TAG_RELEASE_UE => {
+                    take_exact(&value, 5, "release body")?;
+                    let conn = value.get_u32();
+                    let cause = release_cause_from_code(value.get_u8())?;
+                    set_once(&mut action, MitigationAction::ReleaseUe { conn, cause }, "body")?;
+                }
+                TAG_BLACKLIST_RNTI => {
+                    take_exact(&value, 2, "blacklist body")?;
+                    let rnti = Rnti(value.get_u16());
+                    set_once(&mut action, MitigationAction::BlacklistRnti { rnti }, "body")?;
+                }
+                TAG_FORCE_REAUTH => {
+                    take_exact(&value, 4, "reauth body")?;
+                    let conn = value.get_u32();
+                    set_once(&mut action, MitigationAction::ForceReauth { conn }, "body")?;
+                }
+                TAG_QUARANTINE_CELL => {
+                    take_exact(&value, 4, "quarantine body")?;
+                    let cell = CellId(value.get_u32());
+                    set_once(&mut action, MitigationAction::QuarantineCell { cell }, "body")?;
+                }
+                TAG_RATE_LIMIT_CAUSE => {
+                    take_exact(&value, 11, "rate limit body")?;
+                    let cause = establishment_cause_from_code(value.get_u8())?;
+                    let max_setups = value.get_u16();
+                    let window = Duration::from_micros(value.get_u64());
+                    set_once(
+                        &mut action,
+                        MitigationAction::RateLimitCause { cause, max_setups, window },
+                        "body",
+                    )?;
+                }
+                other => return Err(err(format!("unknown control TLV tag {other:#04x}"))),
+            }
+        }
+        Ok(ControlAction {
+            id: id.ok_or_else(|| err("missing action id TLV"))?,
+            ttl: ttl.ok_or_else(|| err("missing ttl TLV"))?,
+            action: action.ok_or_else(|| err("missing action body TLV"))?,
+        })
+    }
+}
+
+fn take_exact(value: &Bytes, n: usize, what: &str) -> Result<()> {
+    if value.remaining() != n {
+        Err(err(format!("bad {what} length: want {n}, have {}", value.remaining())))
+    } else {
+        Ok(())
+    }
+}
+
+fn set_once<T>(slot: &mut Option<T>, value: T, what: &str) -> Result<()> {
+    if slot.is_some() {
+        Err(err(format!("duplicate {what} TLV")))
+    } else {
+        *slot = Some(value);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn samples() -> Vec<ControlAction> {
+        vec![
+            ControlAction {
+                id: 1,
+                ttl: Duration::from_secs(10),
+                action: MitigationAction::ReleaseUe { conn: 7, cause: ReleaseCause::NetworkAbort },
+            },
+            ControlAction {
+                id: 2,
+                ttl: Duration::from_secs(30),
+                action: MitigationAction::BlacklistRnti { rnti: Rnti(0x4612) },
+            },
+            ControlAction {
+                id: 3,
+                ttl: Duration::from_secs(5),
+                action: MitigationAction::ForceReauth { conn: 12 },
+            },
+            ControlAction {
+                id: 4,
+                ttl: Duration::from_millis(2500),
+                action: MitigationAction::QuarantineCell { cell: CellId(1) },
+            },
+            ControlAction {
+                id: 5,
+                ttl: Duration::from_secs(60),
+                action: MitigationAction::RateLimitCause {
+                    cause: EstablishmentCause::MoSignalling,
+                    max_setups: 3,
+                    window: Duration::from_millis(500),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_samples() {
+        for action in samples() {
+            let bytes = action.encode();
+            assert_eq!(ControlAction::decode(&bytes).unwrap(), action, "failed: {action:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation_everywhere() {
+        for action in samples() {
+            let bytes = action.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    ControlAction::decode(&bytes[..cut]).is_err(),
+                    "{action:?} cut at {cut} decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_duplicates_unknown_tags_and_missing_fields() {
+        let action = &samples()[0];
+        let mut doubled = action.encode();
+        doubled.extend_from_slice(&action.encode());
+        assert!(ControlAction::decode(&doubled).is_err(), "duplicate TLVs accepted");
+
+        let mut unknown = action.encode();
+        unknown.extend_from_slice(&[0x7F, 0x00, 0x00]);
+        assert!(ControlAction::decode(&unknown).is_err(), "unknown tag accepted");
+
+        // Strip the body TLV: header-only payloads are incomplete.
+        let header_only = &action.encode()[..7 + 11]; // id TLV (7) + ttl TLV (11)
+        assert!(ControlAction::decode(header_only).is_err(), "missing body accepted");
+    }
+
+    #[test]
+    fn cause_codes_cover_every_variant() {
+        for cause in EstablishmentCause::ALL {
+            assert_eq!(
+                establishment_cause_from_code(establishment_cause_code(cause)).unwrap(),
+                cause
+            );
+        }
+        for cause in [
+            ReleaseCause::Normal,
+            ReleaseCause::RadioLinkFailure,
+            ReleaseCause::NetworkAbort,
+            ReleaseCause::Congestion,
+        ] {
+            assert_eq!(release_cause_from_code(release_cause_code(cause)).unwrap(), cause);
+        }
+    }
+}

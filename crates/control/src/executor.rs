@@ -1,0 +1,278 @@
+//! The action executor: turns policy decisions into E2 Control Request
+//! payloads and tracks each action's fate — sent, acked, retried, expired.
+//!
+//! E2AP Control Acks carry no correlation id in this codebase (mirroring the
+//! minimal E2SM service model), but both transport directions are ordered
+//! queues, so acks are correlated FIFO: each shipped Control Request earns
+//! exactly one ack from the agent, and the oldest unacked transmission owns
+//! the next ack that arrives. Latency is measured in *virtual* time — from
+//! the detection timestamp carried by the finding to the xApp-clock time the
+//! ack is observed — which is the paper's detection→mitigation budget.
+
+use crate::action::ControlAction;
+use xsec_types::{Duration, Timestamp};
+
+/// Retry/backoff tuning for the executor.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Transmissions attempted per action before giving up.
+    pub max_attempts: u32,
+    /// Re-send an unacked action after this long.
+    pub retry_after: Duration,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig { max_attempts: 3, retry_after: Duration::from_millis(200) }
+    }
+}
+
+/// Delivery state of one tracked action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionState {
+    /// Submitted but not yet handed to the transport.
+    Pending,
+    /// On the wire, awaiting an ack.
+    Sent {
+        /// Transmissions so far.
+        attempts: u32,
+        /// Virtual time of the latest transmission.
+        last_sent: Timestamp,
+    },
+    /// Acknowledged by the RAN agent.
+    Acked {
+        /// Virtual time the ack was observed.
+        at: Timestamp,
+        /// Whether the agent accepted the request.
+        success: bool,
+    },
+    /// TTL elapsed before any ack arrived.
+    Expired,
+    /// All attempts used without an ack.
+    Exhausted,
+}
+
+/// One action plus its delivery bookkeeping.
+#[derive(Debug, Clone)]
+pub struct TrackedAction {
+    /// The action under delivery.
+    pub action: ControlAction,
+    /// Virtual time of the detection that produced it.
+    pub detected_at: Timestamp,
+    /// Virtual time the policy engine submitted it.
+    pub submitted_at: Timestamp,
+    /// Current delivery state.
+    pub state: ActionState,
+}
+
+impl TrackedAction {
+    /// Detection→ack latency, once acked as enforced.
+    pub fn detection_to_ack(&self) -> Option<Duration> {
+        match self.state {
+            ActionState::Acked { at, success: true } => {
+                Some(at.saturating_since(self.detected_at))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Encodes, ships, retries, and accounts for control actions.
+#[derive(Debug, Default)]
+pub struct ActionExecutor {
+    config: ExecutorConfig,
+    tracked: Vec<TrackedAction>,
+    /// FIFO of `tracked` indices, one entry per transmission still owed an
+    /// ack by the agent (the agent acks every Control Request it receives,
+    /// including retries).
+    inflight: Vec<usize>,
+}
+
+impl ActionExecutor {
+    /// Executor with the given tuning.
+    pub fn new(config: ExecutorConfig) -> Self {
+        ActionExecutor { config, ..Default::default() }
+    }
+
+    /// Registers an action for delivery.
+    pub fn submit(&mut self, action: ControlAction, detected_at: Timestamp, now: Timestamp) {
+        self.tracked.push(TrackedAction {
+            action,
+            detected_at,
+            submitted_at: now,
+            state: ActionState::Pending,
+        });
+    }
+
+    /// Returns every payload due on the wire now: first transmissions for
+    /// pending actions plus retries for overdue unacked ones.
+    pub fn take_due(&mut self, now: Timestamp) -> Vec<Vec<u8>> {
+        let mut due = Vec::new();
+        for (idx, tracked) in self.tracked.iter_mut().enumerate() {
+            let attempts = match tracked.state {
+                ActionState::Pending => 0,
+                ActionState::Sent { attempts, last_sent }
+                    if now.saturating_since(last_sent) >= self.config.retry_after
+                        && attempts < self.config.max_attempts =>
+                {
+                    attempts
+                }
+                _ => continue,
+            };
+            tracked.state = ActionState::Sent { attempts: attempts + 1, last_sent: now };
+            self.inflight.push(idx);
+            due.push(tracked.action.encode());
+        }
+        due
+    }
+
+    /// Correlates one incoming Control Ack to the oldest unacked
+    /// transmission. Acks for transmissions whose action already resolved
+    /// (a retry raced the first ack, or the TTL expired) are dropped.
+    pub fn on_ack(&mut self, success: bool, now: Timestamp) {
+        while !self.inflight.is_empty() {
+            let idx = self.inflight.remove(0);
+            let tracked = &mut self.tracked[idx];
+            if matches!(tracked.state, ActionState::Sent { .. }) {
+                tracked.state = ActionState::Acked { at: now, success };
+                return;
+            }
+            // Already resolved — this ack belongs to a stale retry; consume
+            // the inflight slot and let the ack settle the next sender.
+        }
+    }
+
+    /// Advances TTL expiry and attempt exhaustion.
+    pub fn tick(&mut self, now: Timestamp) {
+        for tracked in &mut self.tracked {
+            match tracked.state {
+                ActionState::Pending | ActionState::Sent { .. } => {
+                    if now.saturating_since(tracked.submitted_at) >= tracked.action.ttl {
+                        tracked.state = ActionState::Expired;
+                    } else if let ActionState::Sent { attempts, last_sent } = tracked.state {
+                        if attempts >= self.config.max_attempts
+                            && now.saturating_since(last_sent) >= self.config.retry_after
+                        {
+                            tracked.state = ActionState::Exhausted;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Every tracked action with its current state.
+    pub fn outcomes(&self) -> &[TrackedAction] {
+        &self.tracked
+    }
+
+    /// Detection→ack latencies for every successfully acked action.
+    pub fn detection_to_ack_latencies(&self) -> Vec<Duration> {
+        self.tracked.iter().filter_map(|t| t.detection_to_ack()).collect()
+    }
+
+    /// Count of actions in each terminal bucket: (acked-ok, acked-failed,
+    /// expired, exhausted).
+    pub fn tally(&self) -> (usize, usize, usize, usize) {
+        let mut acked = 0;
+        let mut failed = 0;
+        let mut expired = 0;
+        let mut exhausted = 0;
+        for t in &self.tracked {
+            match t.state {
+                ActionState::Acked { success: true, .. } => acked += 1,
+                ActionState::Acked { success: false, .. } => failed += 1,
+                ActionState::Expired => expired += 1,
+                ActionState::Exhausted => exhausted += 1,
+                _ => {}
+            }
+        }
+        (acked, failed, expired, exhausted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::MitigationAction;
+    use xsec_types::Rnti;
+
+    fn ms(v: u64) -> Timestamp {
+        Timestamp(v * 1_000)
+    }
+
+    fn action(id: u32) -> ControlAction {
+        ControlAction {
+            id,
+            ttl: Duration::from_secs(10),
+            action: MitigationAction::BlacklistRnti { rnti: Rnti(id as u16) },
+        }
+    }
+
+    #[test]
+    fn submit_send_ack_measures_detection_latency() {
+        let mut ex = ActionExecutor::default();
+        let detected = ms(100);
+        ex.submit(action(1), detected, ms(150));
+        let due = ex.take_due(ms(150));
+        assert_eq!(due.len(), 1);
+        assert_eq!(ControlAction::decode(&due[0]).unwrap(), action(1));
+        // Nothing further due before the retry deadline.
+        assert!(ex.take_due(ms(200)).is_empty());
+        ex.on_ack(true, ms(230));
+        assert_eq!(ex.tally(), (1, 0, 0, 0));
+        assert_eq!(ex.detection_to_ack_latencies(), vec![Duration::from_millis(130)]);
+    }
+
+    #[test]
+    fn unacked_actions_retry_then_exhaust() {
+        let mut ex = ActionExecutor::new(ExecutorConfig {
+            max_attempts: 2,
+            retry_after: Duration::from_millis(100),
+        });
+        let t0 = ms(0);
+        ex.submit(action(1), t0, t0);
+        assert_eq!(ex.take_due(t0).len(), 1);
+        assert_eq!(ex.take_due(ms(120)).len(), 1, "retry due");
+        assert!(ex.take_due(ms(240)).is_empty(), "attempts spent");
+        ex.tick(ms(240));
+        assert_eq!(ex.tally(), (0, 0, 0, 1));
+    }
+
+    #[test]
+    fn ttl_expiry_beats_retries() {
+        let mut ex = ActionExecutor::default();
+        let mut short = action(1);
+        short.ttl = Duration::from_millis(50);
+        let t0 = ms(0);
+        ex.submit(short, t0, t0);
+        assert_eq!(ex.take_due(t0).len(), 1);
+        ex.tick(ms(60));
+        assert_eq!(ex.tally(), (0, 0, 1, 0));
+        // A late ack for the expired action is dropped, and a fresh action's
+        // ack still lands on the right transmission.
+        ex.submit(action(2), t0, ms(70));
+        assert_eq!(ex.take_due(ms(70)).len(), 1);
+        ex.on_ack(true, ms(80)); // stale ack for action 1
+        ex.on_ack(true, ms(90)); // would be action 2's ack
+        let (acked, ..) = ex.tally();
+        assert_eq!(acked, 1);
+        assert!(ex.outcomes().iter().any(|t| t.action.id == 2
+            && matches!(t.state, ActionState::Acked { success: true, .. })));
+    }
+
+    #[test]
+    fn fifo_correlation_matches_acks_to_send_order() {
+        let mut ex = ActionExecutor::default();
+        let t0 = ms(0);
+        ex.submit(action(1), t0, t0);
+        ex.submit(action(2), t0, t0);
+        assert_eq!(ex.take_due(t0).len(), 2);
+        ex.on_ack(true, ms(10));
+        ex.on_ack(false, ms(20));
+        let states: Vec<_> = ex.outcomes().iter().map(|t| (t.action.id, t.state)).collect();
+        assert!(matches!(states[0], (1, ActionState::Acked { success: true, .. })));
+        assert!(matches!(states[1], (2, ActionState::Acked { success: false, .. })));
+    }
+}

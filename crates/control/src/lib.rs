@@ -1,0 +1,35 @@
+//! Closed-loop mitigation for the 6G-XSec near-RT RIC.
+//!
+//! The paper's pipeline ends at explanation: MobiWatch flags a telemetry
+//! window, the LLM analyzer names the attack, and the result is shown to an
+//! analyst. This crate adds the *actuation* half of the loop — the E2
+//! Control path O-RAN provides for exactly this purpose:
+//!
+//! ```text
+//! AnalyzerFinding ──► PolicyEngine ──► ControlAction (TLV payload)
+//!                        │                  │
+//!                        ▼                  ▼
+//!                SupervisionTicket    ActionExecutor ──► E2 ControlRequest
+//!                (human queue)              ▲                   │
+//!                                           └─── ControlAck ◄───┘
+//! ```
+//!
+//! Three pieces: [`MitigationAction`]/[`ControlAction`] — the typed action
+//! vocabulary with a strict TLV wire codec; [`PolicyEngine`] — the
+//! rule table mapping detections to actions, with a human-supervision gate
+//! for anything below the autonomy bar; [`ActionExecutor`] — delivery
+//! tracking with FIFO ack correlation, retries, and TTL expiry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod executor;
+pub mod policy;
+
+pub use action::{ControlAction, MitigationAction};
+pub use executor::{ActionExecutor, ActionState, ExecutorConfig, TrackedAction};
+pub use policy::{
+    attack_from_title, default_rules, ActionTemplate, PolicyDecision, PolicyEngine, PolicyRule,
+    SupervisionTicket, ThreatAssessment,
+};

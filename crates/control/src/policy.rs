@@ -1,0 +1,404 @@
+//! The detection→action policy engine.
+//!
+//! The paper closes its loop at the analyst: MobiWatch flags a window, the
+//! LLM explains it, a human decides. This module encodes the decision table
+//! so the common cases close automatically while everything ambiguous still
+//! lands in front of a person. A [`PolicyRule`] maps one attack kind to a
+//! list of [`ActionTemplate`]s plus the evidence bar (confidence floor, LLM
+//! confirmation) that must be met before the RIC may act on its own.
+
+use crate::action::{ControlAction, MitigationAction};
+use xsec_types::{
+    AttackKind, CellId, Duration, EstablishmentCause, ReleaseCause, Rnti, Timestamp,
+};
+
+/// Everything the policy engine knows about one detection: what the
+/// detectors concluded and which network entities are implicated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreatAssessment {
+    /// The attack named by the analyzer, if it named one.
+    pub attack: Option<AttackKind>,
+    /// Detector confidence in [0, 1] (anomaly score scaled to threshold).
+    pub confidence: f32,
+    /// True when the cross-model personality check agreed (no
+    /// `NeedsHumanReview` verdict).
+    pub llm_confirmed: bool,
+    /// Virtual time of the detection (latest record in the flagged window).
+    pub detected_at: Timestamp,
+    /// Cell the flagged telemetry came from.
+    pub cell: CellId,
+    /// DU connection ids implicated by the flagged records.
+    pub suspect_conns: Vec<u32>,
+    /// C-RNTIs implicated by the flagged records.
+    pub suspect_rntis: Vec<Rnti>,
+    /// Most common establishment cause among implicated setup requests.
+    pub dominant_cause: Option<EstablishmentCause>,
+}
+
+/// Maps an LLM attack title (the analyzer's free-text naming) back to the
+/// typed attack kind. Matching is keyword-based so minor phrasing drift in
+/// the expert blurbs does not silently break the loop.
+pub fn attack_from_title(title: &str) -> Option<AttackKind> {
+    let t = title.to_ascii_lowercase();
+    if t.contains("bts dos") || t.contains("flooding") || t.contains("signaling storm") {
+        Some(AttackKind::BtsDos)
+    } else if t.contains("blind dos") || t.contains("tmsi replay") {
+        Some(AttackKind::BlindDos)
+    } else if t.contains("uplink identity") {
+        Some(AttackKind::UplinkIdExtraction)
+    } else if t.contains("downlink identity") || t.contains("mitm identity") {
+        Some(AttackKind::DownlinkIdExtraction)
+    } else if t.contains("null") || t.contains("bidding-down") || t.contains("bidding down") {
+        Some(AttackKind::NullCipher)
+    } else {
+        None
+    }
+}
+
+/// An action shape that still needs the assessment's entities filled in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActionTemplate {
+    /// Release every suspect connection with the given cause.
+    ReleaseSuspects {
+        /// Release cause to send.
+        cause: ReleaseCause,
+    },
+    /// Force every suspect connection through re-authentication.
+    ForceReauthSuspects,
+    /// Blacklist every suspect C-RNTI at the MAC.
+    BlacklistSuspectRntis,
+    /// Quarantine the whole cell (admission freeze).
+    QuarantineCell,
+    /// Rate-limit the dominant establishment cause of the flagged window.
+    RateLimitDominantCause {
+        /// Admissions allowed per window.
+        max_setups: u16,
+        /// Sliding window length.
+        window: Duration,
+    },
+}
+
+/// One row of the decision table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyRule {
+    /// Attack kind this rule fires on.
+    pub attack: AttackKind,
+    /// Minimum detector confidence for autonomous action.
+    pub min_confidence: f32,
+    /// Require the cross-model personality check to have agreed.
+    pub require_llm_confirmation: bool,
+    /// TTL stamped onto every action the rule emits.
+    pub ttl: Duration,
+    /// Actions to instantiate, in order.
+    pub templates: Vec<ActionTemplate>,
+}
+
+/// What the engine decided to do with one assessment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyDecision {
+    /// Act autonomously: ship these control actions now.
+    Act(Vec<ControlAction>),
+    /// Below the autonomy bar — escalate to a human with this ticket.
+    Supervise(SupervisionTicket),
+    /// Nothing actionable (e.g. duplicate alert inside the cooldown).
+    StandDown,
+}
+
+/// An escalation record for the human-supervision queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisionTicket {
+    /// The assessment that triggered the escalation.
+    pub assessment: ThreatAssessment,
+    /// Why the engine refused to act on its own.
+    pub reason: String,
+}
+
+/// The configurable decision table plus per-attack cooldown state.
+#[derive(Debug, Clone)]
+pub struct PolicyEngine {
+    rules: Vec<PolicyRule>,
+    next_id: u32,
+    /// Per-attack (kind, acted_at, ttl) memo: while a mitigation for an
+    /// attack is still live we suppress re-issuing it — MobiWatch keeps
+    /// alerting on the same window for several report periods.
+    cooldowns: Vec<(AttackKind, Timestamp, Duration)>,
+}
+
+impl Default for PolicyEngine {
+    fn default() -> Self {
+        PolicyEngine::new(default_rules())
+    }
+}
+
+/// The default decision table, one rule per attack in the paper's taxonomy.
+///
+/// BTS DoS floods fresh RNTIs, so blacklisting alone cannot keep up — the
+/// lever is rate-limiting the `MoSignalling` establishment cause the flood
+/// rides on. Null-cipher victims look benign on the wire; the remedy is
+/// tearing down the downgraded sessions so re-attachment renegotiates real
+/// algorithms without the MiTM's one-shot strip.
+pub fn default_rules() -> Vec<PolicyRule> {
+    vec![
+        PolicyRule {
+            attack: AttackKind::BtsDos,
+            min_confidence: 0.6,
+            require_llm_confirmation: true,
+            ttl: Duration::from_secs(10),
+            templates: vec![
+                // Aggressive on purpose: one admission per second strangles
+                // the flood to noise while a benign UE on the same cause
+                // still gets through within a retry.
+                ActionTemplate::RateLimitDominantCause {
+                    max_setups: 1,
+                    window: Duration::from_secs(1),
+                },
+                ActionTemplate::BlacklistSuspectRntis,
+            ],
+        },
+        PolicyRule {
+            attack: AttackKind::BlindDos,
+            min_confidence: 0.6,
+            require_llm_confirmation: true,
+            ttl: Duration::from_secs(10),
+            templates: vec![
+                ActionTemplate::BlacklistSuspectRntis,
+                ActionTemplate::ForceReauthSuspects,
+            ],
+        },
+        PolicyRule {
+            attack: AttackKind::UplinkIdExtraction,
+            min_confidence: 0.7,
+            require_llm_confirmation: true,
+            ttl: Duration::from_secs(10),
+            templates: vec![ActionTemplate::ForceReauthSuspects],
+        },
+        PolicyRule {
+            attack: AttackKind::DownlinkIdExtraction,
+            min_confidence: 0.7,
+            require_llm_confirmation: true,
+            ttl: Duration::from_secs(10),
+            templates: vec![ActionTemplate::ForceReauthSuspects],
+        },
+        PolicyRule {
+            attack: AttackKind::NullCipher,
+            min_confidence: 0.6,
+            require_llm_confirmation: true,
+            ttl: Duration::from_secs(10),
+            templates: vec![ActionTemplate::ReleaseSuspects {
+                cause: ReleaseCause::NetworkAbort,
+            }],
+        },
+    ]
+}
+
+impl PolicyEngine {
+    /// Engine over an explicit rule table.
+    pub fn new(rules: Vec<PolicyRule>) -> Self {
+        PolicyEngine { rules, next_id: 1, cooldowns: Vec::new() }
+    }
+
+    /// The rule table (for reports and tests).
+    pub fn rules(&self) -> &[PolicyRule] {
+        &self.rules
+    }
+
+    /// Decides what to do about one assessment.
+    pub fn decide(&mut self, assessment: &ThreatAssessment) -> PolicyDecision {
+        let Some(attack) = assessment.attack else {
+            return PolicyDecision::Supervise(SupervisionTicket {
+                assessment: assessment.clone(),
+                reason: "anomaly without a named attack — no autonomous playbook".into(),
+            });
+        };
+        let Some(rule) = self.rules.iter().find(|r| r.attack == attack).cloned() else {
+            return PolicyDecision::Supervise(SupervisionTicket {
+                assessment: assessment.clone(),
+                reason: format!("no policy rule for {attack}"),
+            });
+        };
+        if assessment.confidence < rule.min_confidence {
+            return PolicyDecision::Supervise(SupervisionTicket {
+                assessment: assessment.clone(),
+                reason: format!(
+                    "confidence {:.2} below the {:.2} autonomy floor for {attack}",
+                    assessment.confidence, rule.min_confidence
+                ),
+            });
+        }
+        if rule.require_llm_confirmation && !assessment.llm_confirmed {
+            return PolicyDecision::Supervise(SupervisionTicket {
+                assessment: assessment.clone(),
+                reason: format!("cross-model personalities disagreed on {attack}"),
+            });
+        }
+        if let Some((_, acted_at, ttl)) =
+            self.cooldowns.iter().find(|(k, _, _)| *k == attack)
+        {
+            if assessment.detected_at < *acted_at + *ttl {
+                return PolicyDecision::StandDown;
+            }
+        }
+
+        let mut actions = Vec::new();
+        for template in &rule.templates {
+            self.instantiate(template, assessment, rule.ttl, &mut actions);
+        }
+        if actions.is_empty() {
+            return PolicyDecision::Supervise(SupervisionTicket {
+                assessment: assessment.clone(),
+                reason: format!(
+                    "rule for {attack} matched but the assessment names no target entities"
+                ),
+            });
+        }
+        self.cooldowns.retain(|(k, _, _)| *k != attack);
+        self.cooldowns.push((attack, assessment.detected_at, rule.ttl));
+        PolicyDecision::Act(actions)
+    }
+
+    fn instantiate(
+        &mut self,
+        template: &ActionTemplate,
+        assessment: &ThreatAssessment,
+        ttl: Duration,
+        out: &mut Vec<ControlAction>,
+    ) {
+        match template {
+            ActionTemplate::ReleaseSuspects { cause } => {
+                for &conn in &assessment.suspect_conns {
+                    let action = MitigationAction::ReleaseUe { conn, cause: *cause };
+                    out.push(self.wrap(action, ttl));
+                }
+            }
+            ActionTemplate::ForceReauthSuspects => {
+                for &conn in &assessment.suspect_conns {
+                    out.push(self.wrap(MitigationAction::ForceReauth { conn }, ttl));
+                }
+            }
+            ActionTemplate::BlacklistSuspectRntis => {
+                for &rnti in &assessment.suspect_rntis {
+                    out.push(self.wrap(MitigationAction::BlacklistRnti { rnti }, ttl));
+                }
+            }
+            ActionTemplate::QuarantineCell => {
+                let action = MitigationAction::QuarantineCell { cell: assessment.cell };
+                out.push(self.wrap(action, ttl));
+            }
+            ActionTemplate::RateLimitDominantCause { max_setups, window } => {
+                if let Some(cause) = assessment.dominant_cause {
+                    let action = MitigationAction::RateLimitCause {
+                        cause,
+                        max_setups: *max_setups,
+                        window: *window,
+                    };
+                    out.push(self.wrap(action, ttl));
+                }
+            }
+        }
+    }
+
+    fn wrap(&mut self, action: MitigationAction, ttl: Duration) -> ControlAction {
+        let id = self.next_id;
+        self.next_id += 1;
+        ControlAction { id, ttl, action }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assessment(attack: Option<AttackKind>) -> ThreatAssessment {
+        ThreatAssessment {
+            attack,
+            confidence: 0.9,
+            llm_confirmed: true,
+            detected_at: Timestamp(1_000_000),
+            cell: CellId(1),
+            suspect_conns: vec![4, 9],
+            suspect_rntis: vec![Rnti(0x0101), Rnti(0x0102)],
+            dominant_cause: Some(EstablishmentCause::MoSignalling),
+        }
+    }
+
+    #[test]
+    fn bts_dos_rule_rate_limits_and_blacklists() {
+        let mut engine = PolicyEngine::default();
+        let PolicyDecision::Act(actions) = engine.decide(&assessment(Some(AttackKind::BtsDos)))
+        else {
+            panic!("expected autonomous action");
+        };
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a.action, MitigationAction::RateLimitCause { .. })));
+        assert_eq!(
+            actions
+                .iter()
+                .filter(|a| matches!(a.action, MitigationAction::BlacklistRnti { .. }))
+                .count(),
+            2
+        );
+        // Ids are unique.
+        let mut ids: Vec<_> = actions.iter().map(|a| a.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), actions.len());
+    }
+
+    #[test]
+    fn anomaly_without_attack_escalates() {
+        let mut engine = PolicyEngine::default();
+        assert!(matches!(
+            engine.decide(&assessment(None)),
+            PolicyDecision::Supervise(_)
+        ));
+    }
+
+    #[test]
+    fn low_confidence_and_disagreement_escalate() {
+        let mut engine = PolicyEngine::default();
+        let mut low = assessment(Some(AttackKind::NullCipher));
+        low.confidence = 0.2;
+        assert!(matches!(engine.decide(&low), PolicyDecision::Supervise(_)));
+
+        let mut contested = assessment(Some(AttackKind::NullCipher));
+        contested.llm_confirmed = false;
+        assert!(matches!(engine.decide(&contested), PolicyDecision::Supervise(_)));
+    }
+
+    #[test]
+    fn cooldown_suppresses_repeat_alerts_until_ttl_elapses() {
+        let mut engine = PolicyEngine::default();
+        let first = assessment(Some(AttackKind::NullCipher));
+        assert!(matches!(engine.decide(&first), PolicyDecision::Act(_)));
+
+        let mut repeat = first.clone();
+        repeat.detected_at = first.detected_at + Duration::from_secs(2);
+        assert_eq!(engine.decide(&repeat), PolicyDecision::StandDown);
+
+        let mut later = first.clone();
+        later.detected_at = first.detected_at + Duration::from_secs(11);
+        assert!(matches!(engine.decide(&later), PolicyDecision::Act(_)));
+    }
+
+    #[test]
+    fn titles_map_back_to_attack_kinds() {
+        let cases = [
+            ("Signaling storm / RRC flooding DoS (BTS DoS)", AttackKind::BtsDos),
+            ("TMSI replay denial of service (Blind DoS)", AttackKind::BlindDos),
+            ("Uplink identity extraction (adaptive overshadowing)", AttackKind::UplinkIdExtraction),
+            (
+                "Downlink identity extraction (MiTM identity request injection)",
+                AttackKind::DownlinkIdExtraction,
+            ),
+            (
+                "Security capability bidding-down (null cipher & integrity)",
+                AttackKind::NullCipher,
+            ),
+        ];
+        for (title, kind) in cases {
+            assert_eq!(attack_from_title(title), Some(kind), "{title}");
+        }
+        assert_eq!(attack_from_title("benign drift"), None);
+    }
+}

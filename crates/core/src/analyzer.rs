@@ -107,14 +107,31 @@ impl XApp for LlmAnalyzer {
         // The analyzer consumes alerts, not raw telemetry.
     }
 
-    fn on_message(&mut self, _ctx: &mut XAppContext<'_>, topic: &str, payload: &[u8]) {
+    fn on_message(&mut self, ctx: &mut XAppContext<'_>, topic: &str, payload: &[u8]) {
         if topic != self.topic {
             return;
         }
         let Ok(alert) = serde_json::from_slice::<AnomalyAlert>(payload) else {
             return;
         };
-        self.analyze_alert(&alert);
+        let finding = self.analyze_alert(&alert);
+        // Downstream consumers (the mitigator) get the conclusion, not the
+        // raw completion text: verdict, named attacks, and the evidence
+        // records needed to scope a response.
+        let notice = crate::mitigator::FindingNotice {
+            at_record: alert.at_record,
+            at_time: alert.at_time,
+            score: alert.score,
+            threshold: alert.threshold,
+            anomalous: finding.parsed.anomalous,
+            confirmed: matches!(finding.verdict, CrossVerdict::ConfirmedAnomalous),
+            needs_human: matches!(finding.verdict, CrossVerdict::NeedsHumanReview { .. }),
+            attacks: finding.parsed.attacks.clone(),
+            records: alert.records.clone(),
+        };
+        if let Ok(json) = serde_json::to_vec(&notice) {
+            ctx.publish(crate::mitigator::FINDINGS_TOPIC, &json);
+        }
     }
 }
 

@@ -18,6 +18,12 @@
 //!    template, yielding classification, explanation, attribution, and
 //!    remediation (`xsec-llm`); disagreements between detector and model
 //!    land in a human-supervision queue.
+//! 4. **Mitigation** — the [`Mitigator`] xApp closes the loop: confirmed
+//!    findings are mapped through a policy engine to typed E2 control
+//!    actions (`xsec-control`) the RAN enforces — RNTI blacklists,
+//!    establishment-cause rate limits, forced re-authentication, session
+//!    releases — while anything below the autonomy bar is escalated to the
+//!    human-supervision queue.
 //!
 //! ## Quick start
 //!
@@ -42,11 +48,13 @@
 
 pub mod analyzer;
 pub mod experiments;
+pub mod mitigator;
 pub mod mobiwatch;
 pub mod pipeline;
 pub mod smo;
 
 pub use analyzer::{AnalyzerFinding, LlmAnalyzer};
+pub use mitigator::{FindingNotice, MitigationSummary, Mitigator, MitigatorState};
 pub use mobiwatch::{Detector, MobiWatch, MobiWatchConfig};
-pub use pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
+pub use pipeline::{ClosedLoopOutcome, Pipeline, PipelineConfig, PipelineOutcome};
 pub use smo::{DeployedModels, Smo, TrainingConfig};

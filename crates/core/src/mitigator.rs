@@ -1,0 +1,426 @@
+//! The mitigation xApp: the actuation end of the closed loop.
+//!
+//! Listens on the `findings` topic for the analyzer's conclusions, scopes
+//! each finding to concrete network entities (connections, C-RNTIs, an
+//! establishment cause), asks the [`PolicyEngine`] what to do, and drives
+//! the [`ActionExecutor`] that ships E2 Control Requests back toward the
+//! RAN. Ack outcomes return on the platform's `control-acks` topic, closing
+//! the delivery loop; telemetry windows provide the virtual clock that
+//! paces retries and TTL expiry.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use xsec_control::{
+    attack_from_title, ActionExecutor, ActionState, PolicyDecision, PolicyEngine,
+    SupervisionTicket, ThreatAssessment,
+};
+use xsec_mobiflow::{decode_ue_record, UeMobiFlow};
+use xsec_proto::MessageKind;
+use xsec_ric::{LatencyClass, XApp, XAppContext};
+use xsec_types::{
+    AttackKind, CellId, CipherAlg, Duration, EstablishmentCause, IntegrityAlg, Rnti, Timestamp,
+};
+
+/// Topic the analyzer publishes [`FindingNotice`]s on.
+pub const FINDINGS_TOPIC: &str = "findings";
+
+/// Topic the platform relays Control Ack outcomes on.
+pub const CONTROL_ACKS_TOPIC: &str = "control-acks";
+
+/// The analyzer's conclusion about one alert, serialized for the router.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FindingNotice {
+    /// Stream index of the flagged window's last record.
+    pub at_record: u64,
+    /// Virtual time of that record (the detection timestamp).
+    pub at_time: Timestamp,
+    /// Detector anomaly score.
+    pub score: f32,
+    /// Decision threshold in force when the alert fired.
+    pub threshold: f32,
+    /// Whether the model agreed the window is anomalous.
+    pub anomalous: bool,
+    /// Whether detector and model agree (cross-verdict confirmed).
+    pub confirmed: bool,
+    /// Whether the cross-verdict demands human review.
+    pub needs_human: bool,
+    /// Attack titles the model named.
+    pub attacks: Vec<String>,
+    /// Window + context records in the MobiFlow line coding.
+    pub records: Vec<String>,
+}
+
+/// Aggregate mitigation outcome of one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct MitigationSummary {
+    /// Control actions the policy engine issued.
+    pub issued: usize,
+    /// Actions acknowledged as enforced.
+    pub acked: usize,
+    /// Actions the agent refused.
+    pub failed: usize,
+    /// Actions whose TTL elapsed unacked.
+    pub expired: usize,
+    /// Actions that ran out of retry attempts.
+    pub exhausted: usize,
+    /// Findings escalated to the human-supervision queue.
+    pub supervised: usize,
+    /// Virtual detection→ack latencies, one per acked action (µs).
+    pub detection_to_ack_us: Vec<u64>,
+}
+
+impl MitigationSummary {
+    /// The p99 detection→ack latency, if any action was acked.
+    pub fn detection_to_ack_p99(&self) -> Option<Duration> {
+        if self.detection_to_ack_us.is_empty() {
+            return None;
+        }
+        let mut sorted = self.detection_to_ack_us.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 * 0.99).ceil() as usize).clamp(1, sorted.len());
+        Some(Duration::from_micros(sorted[rank - 1]))
+    }
+
+    /// Classifies the p99 against the O-RAN near-RT budget.
+    pub fn budget_class(&self) -> Option<LatencyClass> {
+        self.detection_to_ack_p99()
+            .map(|d| xsec_ric::latency::classify(std::time::Duration::from_micros(d.as_micros())))
+    }
+}
+
+/// Shared inspection state for the mitigator.
+#[derive(Debug)]
+pub struct MitigatorState {
+    /// The delivery tracker.
+    pub executor: ActionExecutor,
+    /// The decision table.
+    pub policy: PolicyEngine,
+    /// Findings the engine refused to act on autonomously.
+    pub supervised: Vec<SupervisionTicket>,
+    /// Virtual clock (latest telemetry window end / finding time seen).
+    pub clock: Timestamp,
+}
+
+impl MitigatorState {
+    /// Snapshots the run's mitigation outcome.
+    pub fn summary(&self) -> MitigationSummary {
+        let mut summary = MitigationSummary {
+            supervised: self.supervised.len(),
+            issued: self.executor.outcomes().len(),
+            ..MitigationSummary::default()
+        };
+        for tracked in self.executor.outcomes() {
+            match tracked.state {
+                ActionState::Acked { success: true, .. } => summary.acked += 1,
+                ActionState::Acked { success: false, .. } => summary.failed += 1,
+                ActionState::Expired => summary.expired += 1,
+                ActionState::Exhausted => summary.exhausted += 1,
+                _ => {}
+            }
+        }
+        summary.detection_to_ack_us = self
+            .executor
+            .detection_to_ack_latencies()
+            .into_iter()
+            .map(|d| d.as_micros())
+            .collect();
+        summary
+    }
+}
+
+/// The closed-loop mitigation xApp.
+pub struct Mitigator {
+    state: Arc<Mutex<MitigatorState>>,
+}
+
+impl Mitigator {
+    /// Creates the mitigator; returns the shared state handle.
+    pub fn new(policy: PolicyEngine) -> (Self, Arc<Mutex<MitigatorState>>) {
+        let state = Arc::new(Mutex::new(MitigatorState {
+            executor: ActionExecutor::default(),
+            policy,
+            supervised: Vec::new(),
+            clock: Timestamp::ZERO,
+        }));
+        (Mitigator { state: state.clone() }, state)
+    }
+
+    fn handle_finding(&mut self, ctx: &mut XAppContext<'_>, notice: &FindingNotice) {
+        let records: Vec<UeMobiFlow> =
+            notice.records.iter().filter_map(|l| decode_ue_record(l).ok()).collect();
+        let assessment = assess(notice, &records);
+        let mut state = self.state.lock();
+        state.clock = state.clock.max(notice.at_time);
+        let now = state.clock;
+        match state.policy.decide(&assessment) {
+            PolicyDecision::Act(actions) => {
+                for action in actions {
+                    state.executor.submit(action, assessment.detected_at, now);
+                }
+                for payload in state.executor.take_due(now) {
+                    ctx.send_control(payload);
+                }
+            }
+            PolicyDecision::Supervise(ticket) => state.supervised.push(ticket),
+            PolicyDecision::StandDown => {}
+        }
+    }
+}
+
+/// Builds a [`ThreatAssessment`] from a finding notice: names the attack,
+/// derives a confidence from how far the score cleared the threshold, and
+/// scopes the suspect entities attack-specifically — a null-cipher finding
+/// implicates only downgraded sessions, a flood implicates the connections
+/// behind the dominant establishment cause, anything else implicates every
+/// connection in the window.
+pub fn assess(notice: &FindingNotice, records: &[UeMobiFlow]) -> ThreatAssessment {
+    let attack = notice.attacks.iter().find_map(|t| attack_from_title(t));
+    // score/threshold ≥ 1 whenever the detector flagged; squash the excess
+    // into [0, 1): barely-over-threshold ≈ 0, a 5× clearance ≈ 0.8.
+    let confidence = if notice.score > 0.0 {
+        (1.0 - notice.threshold / notice.score).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let cell = records.first().map_or(CellId(0), |r| r.cell);
+
+    let dominant_cause = dominant_setup_cause(records);
+    let implicated: Vec<&UeMobiFlow> = match attack {
+        Some(AttackKind::NullCipher) => records
+            .iter()
+            .filter(|r| {
+                r.cipher_alg == Some(CipherAlg::Nea0)
+                    || r.integrity_alg == Some(IntegrityAlg::Nia0)
+            })
+            .collect(),
+        Some(AttackKind::BtsDos) => records
+            .iter()
+            .filter(|r| {
+                r.msg == MessageKind::RrcSetupRequest && r.establishment_cause == dominant_cause
+            })
+            .collect(),
+        _ => records.iter().collect(),
+    };
+    let mut suspect_conns: Vec<u32> = implicated.iter().map(|r| r.du_ue_id).collect();
+    suspect_conns.sort_unstable();
+    suspect_conns.dedup();
+    let mut suspect_rntis: Vec<Rnti> =
+        implicated.iter().map(|r| r.rnti).filter(|r| r.is_valid_c_rnti()).collect();
+    suspect_rntis.sort();
+    suspect_rntis.dedup();
+
+    ThreatAssessment {
+        attack,
+        confidence,
+        llm_confirmed: notice.confirmed && !notice.needs_human,
+        detected_at: notice.at_time,
+        cell,
+        suspect_conns,
+        suspect_rntis,
+        dominant_cause,
+    }
+}
+
+fn dominant_setup_cause(records: &[UeMobiFlow]) -> Option<EstablishmentCause> {
+    let mut counts: Vec<(EstablishmentCause, usize)> = Vec::new();
+    for r in records {
+        if r.msg != MessageKind::RrcSetupRequest {
+            continue;
+        }
+        let Some(cause) = r.establishment_cause else { continue };
+        match counts.iter_mut().find(|(c, _)| *c == cause) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((cause, 1)),
+        }
+    }
+    counts.into_iter().max_by_key(|(_, n)| *n).map(|(c, _)| c)
+}
+
+impl XApp for Mitigator {
+    fn name(&self) -> &str {
+        "mitigator"
+    }
+
+    fn on_records(
+        &mut self,
+        ctx: &mut XAppContext<'_>,
+        _records: &[UeMobiFlow],
+        window_end: Timestamp,
+    ) {
+        // Telemetry windows are the mitigator's clock: advance TTL/retry
+        // bookkeeping and ship anything (re)due.
+        let mut state = self.state.lock();
+        state.clock = state.clock.max(window_end);
+        let now = state.clock;
+        state.executor.tick(now);
+        for payload in state.executor.take_due(now) {
+            ctx.send_control(payload);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut XAppContext<'_>, topic: &str, payload: &[u8]) {
+        match topic {
+            FINDINGS_TOPIC => {
+                let Ok(notice) = serde_json::from_slice::<FindingNotice>(payload) else {
+                    return;
+                };
+                self.handle_finding(ctx, &notice);
+            }
+            CONTROL_ACKS_TOPIC => {
+                let Some(&flag) = payload.first() else { return };
+                let mut state = self.state.lock();
+                let now = state.clock;
+                state.executor.on_ack(flag != 0, now);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsec_control::{ControlAction, MitigationAction};
+    use xsec_proto::Direction;
+
+    fn record(conn: u32, rnti: u16, msg: MessageKind) -> UeMobiFlow {
+        UeMobiFlow {
+            msg_id: 0,
+            timestamp: Timestamp(1_000),
+            cell: CellId(1),
+            rnti: Rnti(rnti),
+            du_ue_id: conn,
+            direction: Direction::Uplink,
+            msg,
+            tmsi: None,
+            supi: None,
+            cipher_alg: None,
+            integrity_alg: None,
+            establishment_cause: Some(EstablishmentCause::MoSignalling),
+            release_cause: None,
+        }
+    }
+
+    fn notice(attacks: Vec<String>, records: &[UeMobiFlow]) -> FindingNotice {
+        FindingNotice {
+            at_record: 10,
+            at_time: Timestamp(1_000),
+            score: 0.5,
+            threshold: 0.1,
+            anomalous: true,
+            confirmed: true,
+            needs_human: false,
+            attacks,
+            records: records.iter().map(xsec_mobiflow::encode_ue_record).collect(),
+        }
+    }
+
+    #[test]
+    fn assessment_names_attack_and_scopes_flood_suspects() {
+        let records = vec![
+            record(1, 0x4601, MessageKind::RrcSetupRequest),
+            record(2, 0x4602, MessageKind::RrcSetupRequest),
+            record(2, 0x4602, MessageKind::RrcSetup),
+            record(3, 0x4603, MessageKind::NasRegistrationRequest),
+        ];
+        let n = notice(vec!["Signaling storm / RRC flooding DoS (BTS DoS)".into()], &records);
+        let decoded: Vec<UeMobiFlow> =
+            n.records.iter().map(|l| decode_ue_record(l).unwrap()).collect();
+        let a = assess(&n, &decoded);
+        assert_eq!(a.attack, Some(AttackKind::BtsDos));
+        assert!(a.confidence > 0.6, "confidence {}", a.confidence);
+        assert!(a.llm_confirmed);
+        // Only the setup-request connections are implicated, not conn 3.
+        assert_eq!(a.suspect_conns, vec![1, 2]);
+        assert_eq!(a.dominant_cause, Some(EstablishmentCause::MoSignalling));
+    }
+
+    #[test]
+    fn null_cipher_assessment_implicates_only_downgraded_sessions() {
+        let mut clean = record(1, 0x4601, MessageKind::NasRegistrationAccept);
+        clean.cipher_alg = Some(CipherAlg::Nea2);
+        clean.integrity_alg = Some(IntegrityAlg::Nia2);
+        let mut tainted = record(2, 0x4602, MessageKind::NasRegistrationAccept);
+        tainted.cipher_alg = Some(CipherAlg::Nea0);
+        tainted.integrity_alg = Some(IntegrityAlg::Nia0);
+        let n = notice(
+            vec!["Security capability bidding-down (null cipher & integrity)".into()],
+            &[clean, tainted],
+        );
+        let decoded: Vec<UeMobiFlow> =
+            n.records.iter().map(|l| decode_ue_record(l).unwrap()).collect();
+        let a = assess(&n, &decoded);
+        assert_eq!(a.attack, Some(AttackKind::NullCipher));
+        assert_eq!(a.suspect_conns, vec![2]);
+    }
+
+    #[test]
+    fn summary_percentile_and_budget_classification() {
+        let mut summary = MitigationSummary::default();
+        assert!(summary.detection_to_ack_p99().is_none());
+        summary.detection_to_ack_us = vec![20_000, 40_000, 100_000];
+        assert_eq!(summary.detection_to_ack_p99(), Some(Duration::from_millis(100)));
+        assert_eq!(summary.budget_class(), Some(LatencyClass::WithinBudget));
+    }
+
+    #[test]
+    fn mitigator_issues_controls_for_confirmed_findings_and_tracks_acks() {
+        let (mut mitigator, state) = Mitigator::new(PolicyEngine::default());
+        let sdl = xsec_ric::SharedDataLayer::new();
+        let router = xsec_ric::Router::new();
+        let mut control = Vec::new();
+
+        let records = vec![
+            record(1, 0x4601, MessageKind::RrcSetupRequest),
+            record(2, 0x4602, MessageKind::RrcSetupRequest),
+        ];
+        let n = notice(vec!["Signaling storm / RRC flooding DoS (BTS DoS)".into()], &records);
+        {
+            let mut ctx = xsec_ric::XAppContext {
+                sdl: &sdl,
+                router: &router,
+                control_out: &mut control,
+            };
+            mitigator.on_message(&mut ctx, FINDINGS_TOPIC, &serde_json::to_vec(&n).unwrap());
+        }
+        // Rate-limit + two blacklists, all shipped immediately.
+        assert_eq!(control.len(), 3);
+        for payload in &control {
+            ControlAction::decode(payload).unwrap();
+        }
+        assert!(matches!(
+            ControlAction::decode(&control[0]).unwrap().action,
+            MitigationAction::RateLimitCause { .. }
+        ));
+
+        // Acks resolve in FIFO order against the mitigator clock.
+        let mut ack_out = Vec::new();
+        let mut ctx =
+            xsec_ric::XAppContext { sdl: &sdl, router: &router, control_out: &mut ack_out };
+        mitigator.on_message(&mut ctx, CONTROL_ACKS_TOPIC, &[1]);
+        mitigator.on_message(&mut ctx, CONTROL_ACKS_TOPIC, &[1]);
+        mitigator.on_message(&mut ctx, CONTROL_ACKS_TOPIC, &[0]);
+        let summary = state.lock().summary();
+        assert_eq!((summary.issued, summary.acked, summary.failed), (3, 2, 1));
+        assert_eq!(summary.detection_to_ack_us.len(), 2);
+    }
+
+    #[test]
+    fn unconfirmed_findings_land_in_supervision() {
+        let (mut mitigator, state) = Mitigator::new(PolicyEngine::default());
+        let sdl = xsec_ric::SharedDataLayer::new();
+        let router = xsec_ric::Router::new();
+        let mut control = Vec::new();
+        let mut ctx =
+            xsec_ric::XAppContext { sdl: &sdl, router: &router, control_out: &mut control };
+        let records = vec![record(1, 0x4601, MessageKind::RrcSetupRequest)];
+        let mut n = notice(vec!["Signaling storm / RRC flooding DoS (BTS DoS)".into()], &records);
+        n.needs_human = true;
+        mitigator.on_message(&mut ctx, FINDINGS_TOPIC, &serde_json::to_vec(&n).unwrap());
+        assert!(control.is_empty());
+        let state = state.lock();
+        assert_eq!(state.supervised.len(), 1);
+        assert!(state.executor.outcomes().is_empty());
+    }
+}

@@ -7,13 +7,16 @@
 //! the outcome is evaluated against ground truth.
 
 use crate::analyzer::{AnalyzerFinding, LlmAnalyzer};
+use crate::mitigator::{MitigationSummary, Mitigator, CONTROL_ACKS_TOPIC, FINDINGS_TOPIC};
 use crate::mobiwatch::{Detector, MobiWatch, MobiWatchConfig};
 use crate::smo::{DeployedModels, Smo, TrainingConfig};
 use xsec_attacks::DatasetBuilder;
+use xsec_control::{ControlAction, PolicyEngine};
 use xsec_dl::{Confusion, FeatureConfig, Featurizer};
-use xsec_e2::{in_proc_pair, RicAgent, RicAgentConfig};
+use xsec_e2::{in_proc_pair, InProcTransport, RicAgent, RicAgentConfig};
 use xsec_llm::{ModelPersonality, SimulatedExpert};
 use xsec_mobiflow::{extract_from_events, TelemetryStream};
+use xsec_ran::sim::{RanSimulator, SimReport};
 use xsec_ric::{RicPlatform, SubscriptionSpec};
 use xsec_types::{AttackKind, CellId, Duration, GnbId, Timestamp};
 
@@ -87,12 +90,37 @@ pub struct PipelineOutcome {
     pub confusion: Confusion,
     /// Mean xApp handler latency (µs), from the platform tracker.
     pub mean_handler_latency_us: f64,
+    /// Closed-loop mitigation outcome (actions issued, acked, escalated).
+    pub mitigation: MitigationSummary,
+}
+
+/// What one *live* closed-loop run produced: the pipeline outcome plus the
+/// final RAN-side report showing the mitigation's effect on the network.
+#[derive(Debug)]
+pub struct ClosedLoopOutcome {
+    /// The RIC-side outcome (detections, findings, mitigation summary).
+    pub outcome: PipelineOutcome,
+    /// The RAN-side simulation report after enforcement.
+    pub report: SimReport,
+    /// Control actions the RAN actually enforced, with the virtual time at
+    /// which each took effect, in arrival order.
+    pub enforced: Vec<(Timestamp, ControlAction)>,
 }
 
 /// A trained, deployable pipeline.
 pub struct Pipeline {
     config: PipelineConfig,
     models: DeployedModels,
+}
+
+/// One assembled RIC deployment: agent ↔ platform with the MobiWatch,
+/// analyzer, and mitigator xApps registered and the E2 handshake done.
+struct Deployment {
+    agent: RicAgent<InProcTransport>,
+    platform: RicPlatform,
+    watch_state: std::sync::Arc<parking_lot::Mutex<crate::mobiwatch::MobiWatchState>>,
+    analyzer_state: std::sync::Arc<parking_lot::Mutex<crate::analyzer::AnalyzerState>>,
+    mitigator_state: std::sync::Arc<parking_lot::Mutex<crate::mitigator::MitigatorState>>,
 }
 
 impl Pipeline {
@@ -134,8 +162,9 @@ impl Pipeline {
         self.run_stream(&stream)
     }
 
-    /// Replays a telemetry stream through agent → E2 → platform → xApps.
-    pub fn run_stream(&self, stream: &TelemetryStream) -> PipelineOutcome {
+    /// Assembles the agent/platform pair with all three xApps registered
+    /// and runs the E2 setup + subscription handshake.
+    fn deploy(&self) -> Deployment {
         let (agent_end, ric_end) = in_proc_pair();
         let mut agent =
             RicAgent::new(RicAgentConfig { gnb_id: GnbId(1), cell: CellId(1) }, agent_end)
@@ -151,43 +180,117 @@ impl Pipeline {
             Box::new(SimulatedExpert::new(self.config.personality)),
             "anomalies",
         );
+        let (mitigator, mitigator_state) = Mitigator::new(PolicyEngine::default());
         platform.register_xapp(
             Box::new(watch),
             SubscriptionSpec::telemetry(self.config.report_period_ms),
         );
         platform
             .register_xapp(Box::new(analyzer), SubscriptionSpec::topics_only(&["anomalies"]));
+        // The mitigator also subscribes to telemetry: the report windows are
+        // its virtual clock for retry pacing and TTL expiry.
+        platform.register_xapp(
+            Box::new(mitigator),
+            SubscriptionSpec::telemetry(self.config.report_period_ms)
+                .with_topic(FINDINGS_TOPIC)
+                .with_topic(CONTROL_ACKS_TOPIC),
+        );
 
         // Handshake.
         for _ in 0..3 {
             platform.pump().expect("pump");
             agent.poll(Timestamp::ZERO).expect("agent poll");
         }
+        Deployment { agent, platform, watch_state, analyzer_state, mitigator_state }
+    }
+
+    /// Replays a telemetry stream through agent → E2 → platform → xApps.
+    ///
+    /// Control Requests the mitigator issues still travel RIC → agent and
+    /// are acked, but nothing enforces them — this is the *open-loop*
+    /// replay used for detection evaluation. [`Pipeline::run_closed_loop`]
+    /// feeds the actions back into a live simulation.
+    pub fn run_stream(&self, stream: &TelemetryStream) -> PipelineOutcome {
+        let mut d = self.deploy();
 
         // Replay records in report-period buckets of virtual time.
         let period = Duration::from_millis(u64::from(self.config.report_period_ms));
         let mut bucket_end = Timestamp::ZERO + period;
         for record in &stream.records {
             while record.timestamp >= bucket_end {
-                agent.poll(bucket_end).expect("agent poll");
-                platform.pump().expect("pump");
+                d.agent.poll(bucket_end).expect("agent poll");
+                d.platform.pump().expect("pump");
                 bucket_end += period;
             }
-            agent.push_record(record.clone());
+            d.agent.push_record(record.clone());
         }
-        // Final flush (two pumps: records, then relayed alerts).
-        agent.poll(bucket_end).expect("agent poll");
-        platform.pump().expect("pump");
-        platform.pump().expect("pump");
+        // Final flush: alert → finding → control → ack needs a few more
+        // poll/pump rounds (with time advancing) to drain end to end.
+        for _ in 0..4 {
+            d.agent.poll(bucket_end).expect("agent poll");
+            d.platform.pump().expect("pump");
+            bucket_end += period;
+        }
+        drop(d.agent.take_control_requests());
 
-        // Evaluate against ground truth.
+        self.evaluate(stream, d)
+    }
+
+    /// Runs the *closed* loop: a live [`RanSimulator`] is driven in
+    /// report-period steps, its telemetry flows through the full RIC stack,
+    /// and every Control Request the mitigator ships is decoded and applied
+    /// to the simulated gNB mid-run, so mitigation changes the traffic the
+    /// rest of the run produces.
+    pub fn run_closed_loop(&self, mut sim: RanSimulator) -> ClosedLoopOutcome {
+        let mut d = self.deploy();
+
+        let period = Duration::from_millis(u64::from(self.config.report_period_ms));
+        let horizon = Timestamp::ZERO + sim.config().horizon;
+        let mut bucket_end = Timestamp::ZERO + period;
+        let mut cursor = 0usize;
+        let mut enforced = Vec::new();
+        // A few grace buckets past the horizon drain in-flight detections.
+        while bucket_end <= horizon + period.saturating_mul(4) {
+            sim.run_until(bucket_end);
+            // Events only append, so re-extraction is prefix-stable: feed
+            // the suffix the agent has not seen yet.
+            let stream = extract_from_events(sim.events());
+            for record in &stream.records[cursor..] {
+                d.agent.push_record(record.clone());
+            }
+            cursor = stream.records.len();
+            d.agent.poll(bucket_end).expect("agent poll");
+            // Two pumps walk indication → alert → finding → control ship.
+            d.platform.pump().expect("pump");
+            d.platform.pump().expect("pump");
+            // The agent receives (and acks) any Control Requests; the RAN
+            // enforces them before the next bucket of traffic runs.
+            d.agent.poll(bucket_end).expect("agent poll");
+            for payload in d.agent.take_control_requests() {
+                if let Ok(action) = ControlAction::decode(&payload) {
+                    sim.apply_control(bucket_end, &action);
+                    enforced.push((bucket_end, action));
+                }
+            }
+            // Relay the acks back onto the mitigator's topic.
+            d.platform.pump().expect("pump");
+            bucket_end += period;
+        }
+
+        let stream = extract_from_events(sim.events());
+        let outcome = self.evaluate(&stream, d);
+        ClosedLoopOutcome { outcome, report: sim.finish(), enforced }
+    }
+
+    /// Scores the run against ground truth and snapshots every xApp state.
+    fn evaluate(&self, stream: &TelemetryStream, d: Deployment) -> PipelineOutcome {
         let feature_config = FeatureConfig { window: self.config.detector_window };
         let dataset = Featurizer::encode_stream(&feature_config, stream);
         let truth = match self.config.detector {
             Detector::Autoencoder => dataset.window_labels(),
             Detector::Lstm => dataset.lstm_labels(),
         };
-        let watch_state = watch_state.lock();
+        let watch_state = d.watch_state.lock();
         let predictions: Vec<bool> = watch_state.scores.iter().map(|(_, _, f)| *f).collect();
         assert_eq!(
             predictions.len(),
@@ -198,7 +301,7 @@ impl Pipeline {
         );
         let confusion = Confusion::from_predictions(&predictions, &truth);
 
-        let analyzer_state = analyzer_state.lock();
+        let analyzer_state = d.analyzer_state.lock();
         PipelineOutcome {
             records: stream.len(),
             flagged_windows: predictions.iter().filter(|f| **f).count(),
@@ -206,7 +309,8 @@ impl Pipeline {
             findings: analyzer_state.findings.clone(),
             human_review: analyzer_state.human_review.len(),
             confusion,
-            mean_handler_latency_us: platform.latency().mean_us(),
+            mean_handler_latency_us: d.platform.latency().mean_us(),
+            mitigation: d.mitigator_state.lock().summary(),
         }
     }
 }

@@ -178,8 +178,8 @@ mod tests {
         let mut outlier_rows = Vec::new();
         for _ in 0..n / 4 {
             let mut v = vec![0.05f32; dim];
-            for j in 18..24 {
-                v[j] = 1.0; // a region never active in benign data
+            for slot in &mut v[18..24] {
+                *slot = 1.0; // a region never active in benign data
             }
             outlier_rows.push(Matrix::row(v));
         }

@@ -299,9 +299,58 @@ mod tests {
                 sequence: 9,
                 payload: vec![1, 2, 3],
             },
+            E2apPdu::ControlRequest { ran_function: 142, payload: sample_action().encode() },
             E2apPdu::ControlRequest { ran_function: 142, payload: vec![] },
             E2apPdu::ControlAck { ran_function: 142, success: false },
         ]
+    }
+
+    /// A realistic Control Request payload: the mitigation TLV sub-codec
+    /// nested inside the E2AP envelope, as the closed loop ships it.
+    fn sample_action() -> xsec_control::ControlAction {
+        xsec_control::ControlAction {
+            id: 77,
+            ttl: xsec_types::Duration::from_secs(10),
+            action: xsec_control::MitigationAction::RateLimitCause {
+                cause: xsec_types::EstablishmentCause::MoSignalling,
+                max_setups: 2,
+                window: xsec_types::Duration::from_millis(400),
+            },
+        }
+    }
+
+    /// Arbitrary mitigation action assembled from primitive draws (the
+    /// vendored proptest stub has no `Arbitrary` derive).
+    fn build_action(
+        id: u32,
+        ttl_us: u64,
+        variant: u8,
+        conn: u32,
+        word: u16,
+        span_us: u64,
+    ) -> xsec_control::ControlAction {
+        use xsec_control::MitigationAction as M;
+        use xsec_types::{CellId, Duration, EstablishmentCause, ReleaseCause, Rnti};
+        let action = match variant % 5 {
+            0 => M::ReleaseUe {
+                conn,
+                cause: [
+                    ReleaseCause::Normal,
+                    ReleaseCause::RadioLinkFailure,
+                    ReleaseCause::NetworkAbort,
+                    ReleaseCause::Congestion,
+                ][word as usize % 4],
+            },
+            1 => M::BlacklistRnti { rnti: Rnti(word) },
+            2 => M::ForceReauth { conn },
+            3 => M::QuarantineCell { cell: CellId(conn) },
+            _ => M::RateLimitCause {
+                cause: EstablishmentCause::ALL[word as usize % EstablishmentCause::ALL.len()],
+                max_setups: word,
+                window: Duration::from_micros(span_us),
+            },
+        };
+        xsec_control::ControlAction { id, ttl: Duration::from_micros(ttl_us), action }
     }
 
     #[test]
@@ -351,6 +400,64 @@ mod tests {
         #[test]
         fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
             let _ = E2apPdu::decode(&bytes);
+        }
+
+        /// Arbitrary Control Request payloads (opaque bytes) survive the
+        /// E2AP envelope byte-exactly.
+        #[test]
+        fn prop_control_request_round_trip(
+            func in any::<u32>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let pdu = E2apPdu::ControlRequest { ran_function: func, payload };
+            prop_assert_eq!(E2apPdu::decode(&pdu.encode()).unwrap(), pdu);
+        }
+
+        #[test]
+        fn prop_control_ack_round_trip(func in any::<u32>(), success in any::<bool>()) {
+            let pdu = E2apPdu::ControlAck { ran_function: func, success };
+            prop_assert_eq!(E2apPdu::decode(&pdu.encode()).unwrap(), pdu);
+        }
+
+        /// The full control path a mitigation takes on the wire: action TLV →
+        /// E2AP Control Request → stream framing → deframe → E2AP decode →
+        /// action TLV decode. Every arbitrary action must survive unchanged.
+        #[test]
+        fn prop_action_round_trip_through_e2ap_and_framing(
+            id in any::<u32>(),
+            ttl_us in any::<u64>(),
+            variant in any::<u8>(),
+            conn in any::<u32>(),
+            word in any::<u16>(),
+            span_us in any::<u64>(),
+        ) {
+            let action = build_action(id, ttl_us, variant, conn, word, span_us);
+            let pdu = E2apPdu::ControlRequest { ran_function: 142, payload: action.encode() };
+
+            let mut writer = xsec_proto::FrameWriter::new();
+            writer.write_frame(&pdu.encode()).unwrap();
+            let mut reader = xsec_proto::FrameReader::new();
+            reader.extend(&writer.take());
+            let frame = reader.next_frame().unwrap().expect("one whole frame buffered");
+            prop_assert!(reader.next_frame().unwrap().is_none());
+
+            let decoded = E2apPdu::decode(&frame).unwrap();
+            let E2apPdu::ControlRequest { ran_function, payload } = decoded else {
+                panic!("wrong PDU kind");
+            };
+            prop_assert_eq!(ran_function, 142);
+            prop_assert_eq!(
+                xsec_control::ControlAction::decode(&payload).unwrap(),
+                action
+            );
+        }
+
+        /// The strict TLV decoder never panics on garbage.
+        #[test]
+        fn prop_action_decode_never_panics(
+            bytes in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let _ = xsec_control::ControlAction::decode(&bytes);
         }
     }
 }

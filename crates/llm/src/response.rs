@@ -33,7 +33,7 @@ impl ParsedResponse {
             let says_anomalous = lower.contains("anomalous")
                 || lower.contains("attack")
                 || lower.contains("malicious");
-            says_anomalous && !says_benign || (says_anomalous && lower.contains("anomalous"))
+            says_anomalous && (!says_benign || lower.contains("anomalous"))
         };
 
         // Numbered list items after a "top ... attacks" header.

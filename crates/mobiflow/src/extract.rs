@@ -147,10 +147,11 @@ pub fn extract_from_trace(trace: &TraceLog) -> Result<TelemetryStream> {
             L3Message::Nas(NasMessage::ServiceRequest { tmsi }) => {
                 state.tmsi = Some(*tmsi);
             }
-            L3Message::Nas(NasMessage::RegistrationRequest { identity, .. }) => {
-                if let xsec_proto::MobileIdentity::FiveGSTmsi(tmsi) = identity {
-                    state.tmsi = Some(*tmsi);
-                }
+            L3Message::Nas(NasMessage::RegistrationRequest {
+                identity: xsec_proto::MobileIdentity::FiveGSTmsi(tmsi),
+                ..
+            }) => {
+                state.tmsi = Some(*tmsi);
             }
             _ => {}
         }
@@ -260,14 +261,16 @@ mod tests {
     use xsec_ran::sim::SimConfig;
 
     fn run_small(seed: u64) -> xsec_ran::sim::SimReport {
-        let mut config = ScenarioConfig::default();
-        config.sim = SimConfig {
-            seed,
-            channel: xsec_netsim::ChannelConfig::ideal(),
-            horizon: xsec_types::Duration::from_secs(60),
-            ..SimConfig::default()
+        let config = ScenarioConfig {
+            sim: SimConfig {
+                seed,
+                channel: xsec_netsim::ChannelConfig::ideal(),
+                horizon: xsec_types::Duration::from_secs(60),
+                ..SimConfig::default()
+            },
+            benign_sessions: 12,
+            ..ScenarioConfig::default()
         };
-        config.benign_sessions = 12;
         Scenario::new(config).build().run()
     }
 

@@ -13,7 +13,8 @@
 //!   — the observable denial of service the BTS DoS flood causes.
 
 use crate::amf::AmfAction;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use xsec_control::{ControlAction, MitigationAction};
 use xsec_proto::{L3Message, NasMessage, RrcMessage};
 use xsec_types::{
     CellId, CipherAlg, Duration, EstablishmentCause, IntegrityAlg, ReleaseCause, Rnti, Timestamp,
@@ -97,6 +98,20 @@ pub enum AdmitError {
     Congestion,
     /// No free C-RNTI.
     RntiExhausted,
+    /// A RIC rate-limit on this establishment cause is saturated; the MAC
+    /// drops the setup request silently (no reject, no context).
+    RateLimited,
+    /// The cell is under a RIC admission quarantine.
+    Quarantined,
+}
+
+/// A RIC-installed cap on admissions carrying one establishment cause.
+#[derive(Debug, Clone)]
+struct RateLimit {
+    max_setups: u16,
+    window: Duration,
+    until: Timestamp,
+    recent: VecDeque<Timestamp>,
 }
 
 /// Counters for reports and the DoS experiments.
@@ -110,6 +125,13 @@ pub struct GnbStats {
     pub guard_expired: u64,
     /// Connections released normally.
     pub released: u64,
+    /// Setup requests silently dropped by RIC mitigations (rate limits and
+    /// cell quarantine).
+    pub mitigation_dropped: u64,
+    /// Uplink messages dropped because their C-RNTI is blacklisted.
+    pub blacklist_dropped: u64,
+    /// Connections detached by a RIC force-reauth action.
+    pub forced_reauth: u64,
 }
 
 /// The gNB state machine (DU + CU).
@@ -120,13 +142,28 @@ pub struct Gnb {
     rnti_cursor: u16,
     next_conn: u32,
     stats: GnbStats,
+    /// RIC-blacklisted C-RNTIs → enforcement deadline.
+    blacklist: HashMap<u16, Timestamp>,
+    /// RIC-installed per-cause admission caps.
+    rate_limits: HashMap<EstablishmentCause, RateLimit>,
+    /// RIC admission quarantine deadline, if one is active.
+    quarantine_until: Option<Timestamp>,
 }
 
 impl Gnb {
     /// Creates a gNB with the given configuration.
     pub fn new(config: GnbConfig) -> Self {
         let rnti_cursor = config.first_rnti;
-        Gnb { config, contexts: HashMap::new(), rnti_cursor, next_conn: 1, stats: GnbStats::default() }
+        Gnb {
+            config,
+            contexts: HashMap::new(),
+            rnti_cursor,
+            next_conn: 1,
+            stats: GnbStats::default(),
+            blacklist: HashMap::new(),
+            rate_limits: HashMap::new(),
+            quarantine_until: None,
+        }
     }
 
     /// The active configuration.
@@ -149,7 +186,7 @@ impl Gnb {
         self.contexts.get(&conn)
     }
 
-    fn alloc_rnti(&mut self) -> Option<Rnti> {
+    fn alloc_rnti(&mut self, now: Timestamp) -> Option<Rnti> {
         let in_use: std::collections::HashSet<u16> =
             self.contexts.values().map(|c| c.rnti.0).collect();
         // Walk the C-RNTI space from the cursor; bounded scan.
@@ -160,20 +197,47 @@ impl Gnb {
             } else {
                 self.rnti_cursor + 1
             };
-            if !in_use.contains(&candidate) && Rnti(candidate).is_valid_c_rnti() {
+            if !in_use.contains(&candidate)
+                && Rnti(candidate).is_valid_c_rnti()
+                && !self.is_blacklisted(Rnti(candidate), now)
+            {
                 return Some(Rnti(candidate));
             }
         }
         None
     }
 
+    fn is_blacklisted(&self, rnti: Rnti, now: Timestamp) -> bool {
+        self.blacklist.get(&rnti.0).is_some_and(|until| now < *until)
+    }
+
     /// Admission control + RNTI allocation for a new `RRCSetupRequest`.
     pub fn admit(&mut self, now: Timestamp, cause: EstablishmentCause) -> Result<u32, AdmitError> {
+        if self.quarantine_until.is_some_and(|until| now < until) {
+            self.stats.mitigation_dropped += 1;
+            return Err(AdmitError::Quarantined);
+        }
+        if let Some(limit) = self.rate_limits.get_mut(&cause) {
+            if now < limit.until {
+                while limit
+                    .recent
+                    .front()
+                    .is_some_and(|&at| now.saturating_since(at) >= limit.window)
+                {
+                    limit.recent.pop_front();
+                }
+                if limit.recent.len() >= limit.max_setups as usize {
+                    self.stats.mitigation_dropped += 1;
+                    return Err(AdmitError::RateLimited);
+                }
+                limit.recent.push_back(now);
+            }
+        }
         if self.contexts.len() >= self.config.max_contexts {
             self.stats.rejected += 1;
             return Err(AdmitError::Congestion);
         }
-        let Some(rnti) = self.alloc_rnti() else {
+        let Some(rnti) = self.alloc_rnti(now) else {
             self.stats.rejected += 1;
             return Err(AdmitError::RntiExhausted);
         };
@@ -215,10 +279,12 @@ impl Gnb {
                             if let NasMessage::ServiceRequest { tmsi } = &nas {
                                 ctx.tmsi = Some(*tmsi);
                             }
-                            if let NasMessage::RegistrationRequest { identity, .. } = &nas {
-                                if let xsec_proto::MobileIdentity::FiveGSTmsi(tmsi) = identity {
-                                    ctx.tmsi = Some(*tmsi);
-                                }
+                            if let NasMessage::RegistrationRequest {
+                                identity: xsec_proto::MobileIdentity::FiveGSTmsi(tmsi),
+                                ..
+                            } = &nas
+                            {
+                                ctx.tmsi = Some(*tmsi);
                             }
                             vec![GnbAction::ToAmf { conn, msg: nas }]
                         }
@@ -327,6 +393,65 @@ impl Gnb {
             actions.push(GnbAction::ContextFreed { conn });
         }
         actions
+    }
+
+    /// MAC-level filter: true when the connection's C-RNTI is blacklisted
+    /// and its uplink traffic must be dropped before any processing (or
+    /// telemetry tap — a dropped frame never reaches the network).
+    pub fn uplink_blocked(&mut self, conn: u32, now: Timestamp) -> bool {
+        let Some(ctx) = self.contexts.get(&conn) else {
+            return false;
+        };
+        if self.is_blacklisted(ctx.rnti, now) {
+            self.stats.blacklist_dropped += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Enforces one RIC control action. This is the actuation endpoint of
+    /// the closed loop: decoded `ControlRequest` payloads land here.
+    pub fn apply_control(&mut self, now: Timestamp, control: &ControlAction) -> Vec<GnbAction> {
+        match &control.action {
+            MitigationAction::ReleaseUe { conn, cause } => self.release(*conn, *cause),
+            MitigationAction::BlacklistRnti { rnti } => {
+                let until = now + control.ttl;
+                let entry = self.blacklist.entry(rnti.0).or_insert(until);
+                *entry = (*entry).max(until);
+                Vec::new()
+            }
+            MitigationAction::ForceReauth { conn } => {
+                // The simulated AMF challenges every fresh SUCI registration,
+                // so a network-abort detach forces the subscriber through the
+                // full authentication ladder on its next attach.
+                let actions = self.release(*conn, ReleaseCause::NetworkAbort);
+                if !actions.is_empty() {
+                    self.stats.forced_reauth += 1;
+                }
+                actions
+            }
+            MitigationAction::QuarantineCell { cell } => {
+                if *cell == self.config.cell {
+                    let until = now + control.ttl;
+                    self.quarantine_until =
+                        Some(self.quarantine_until.map_or(until, |u| u.max(until)));
+                }
+                Vec::new()
+            }
+            MitigationAction::RateLimitCause { cause, max_setups, window } => {
+                self.rate_limits.insert(
+                    *cause,
+                    RateLimit {
+                        max_setups: *max_setups,
+                        window: *window,
+                        until: now + control.ttl,
+                        recent: VecDeque::new(),
+                    },
+                );
+                Vec::new()
+            }
+        }
     }
 }
 
@@ -491,5 +616,112 @@ mod tests {
         assert!(gnb
             .handle_uplink(99, &L3Message::Rrc(RrcMessage::SecurityModeComplete))
             .is_empty());
+    }
+
+    fn control(ttl: Duration, action: MitigationAction) -> ControlAction {
+        ControlAction { id: 1, ttl, action }
+    }
+
+    #[test]
+    fn blacklist_drops_uplinks_until_ttl_and_skips_allocation() {
+        let mut gnb = gnb();
+        let conn = gnb.admit(Timestamp::ZERO, EstablishmentCause::MoData).unwrap();
+        let rnti = gnb.context(conn).unwrap().rnti;
+        gnb.apply_control(
+            Timestamp::ZERO,
+            &control(Duration::from_secs(1), MitigationAction::BlacklistRnti { rnti }),
+        );
+        assert!(gnb.uplink_blocked(conn, Timestamp(500_000)));
+        assert_eq!(gnb.stats().blacklist_dropped, 1);
+        // Past the TTL the RNTI is usable again.
+        assert!(!gnb.uplink_blocked(conn, Timestamp(1_500_000)));
+        // While blacklisted, a release + wrap-around never re-allocates it.
+        gnb.release(conn, ReleaseCause::Normal);
+        let next = gnb.admit(Timestamp(500_000), EstablishmentCause::MoData).unwrap();
+        assert_ne!(gnb.context(next).unwrap().rnti, rnti);
+    }
+
+    #[test]
+    fn rate_limit_caps_admissions_per_window() {
+        let mut gnb = gnb();
+        gnb.apply_control(
+            Timestamp::ZERO,
+            &control(
+                Duration::from_secs(10),
+                MitigationAction::RateLimitCause {
+                    cause: EstablishmentCause::MoSignalling,
+                    max_setups: 2,
+                    window: Duration::from_millis(100),
+                },
+            ),
+        );
+        assert!(gnb.admit(Timestamp(1_000), EstablishmentCause::MoSignalling).is_ok());
+        assert!(gnb.admit(Timestamp(2_000), EstablishmentCause::MoSignalling).is_ok());
+        assert_eq!(
+            gnb.admit(Timestamp(3_000), EstablishmentCause::MoSignalling),
+            Err(AdmitError::RateLimited)
+        );
+        // Other causes are unaffected; the window eventually drains.
+        assert!(gnb.admit(Timestamp(3_000), EstablishmentCause::MoData).is_ok());
+        assert!(gnb.admit(Timestamp(200_000), EstablishmentCause::MoSignalling).is_ok());
+        // Past the TTL the limit stops applying entirely.
+        for i in 0..5 {
+            assert!(gnb
+                .admit(Timestamp(11_000_000 + i), EstablishmentCause::MoSignalling)
+                .is_ok());
+        }
+        assert_eq!(gnb.stats().mitigation_dropped, 1);
+    }
+
+    #[test]
+    fn quarantine_freezes_admission_for_matching_cell_only() {
+        let mut gnb = gnb();
+        // A quarantine for some other cell is ignored.
+        gnb.apply_control(
+            Timestamp::ZERO,
+            &control(
+                Duration::from_secs(1),
+                MitigationAction::QuarantineCell { cell: CellId(99) },
+            ),
+        );
+        assert!(gnb.admit(Timestamp(1_000), EstablishmentCause::MoData).is_ok());
+        gnb.apply_control(
+            Timestamp::ZERO,
+            &control(
+                Duration::from_secs(1),
+                MitigationAction::QuarantineCell { cell: GnbConfig::default().cell },
+            ),
+        );
+        assert_eq!(
+            gnb.admit(Timestamp(2_000), EstablishmentCause::MoData),
+            Err(AdmitError::Quarantined)
+        );
+        assert!(gnb.admit(Timestamp(1_500_000), EstablishmentCause::MoData).is_ok());
+    }
+
+    #[test]
+    fn force_reauth_detaches_with_network_abort() {
+        let mut gnb = gnb();
+        let conn = gnb.admit(Timestamp::ZERO, EstablishmentCause::MoData).unwrap();
+        let actions = gnb.apply_control(
+            Timestamp::ZERO,
+            &control(Duration::from_secs(1), MitigationAction::ForceReauth { conn }),
+        );
+        assert!(matches!(
+            &actions[0],
+            GnbAction::Downlink {
+                msg: L3Message::Rrc(RrcMessage::Release { cause: ReleaseCause::NetworkAbort }),
+                ..
+            }
+        ));
+        assert_eq!(gnb.stats().forced_reauth, 1);
+        assert!(gnb.context(conn).is_none());
+        // Re-applying against the freed context is a counted no-op.
+        let again = gnb.apply_control(
+            Timestamp::ZERO,
+            &control(Duration::from_secs(1), MitigationAction::ForceReauth { conn }),
+        );
+        assert!(again.is_empty());
+        assert_eq!(gnb.stats().forced_reauth, 1);
     }
 }

@@ -113,7 +113,7 @@ impl Scenario {
             // Exponential inter-arrival (inverse-CDF on a uniform draw).
             let u: f64 = rng.gen_range(1e-6..1.0f64);
             let gap = (-(u.ln()) * self.config.mean_inter_arrival.as_micros() as f64) as u64;
-            at = at + Duration::from_micros(gap.max(1));
+            at += Duration::from_micros(gap.max(1));
         }
     }
 }

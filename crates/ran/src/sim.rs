@@ -248,22 +248,61 @@ impl RanSimulator {
     /// Runs to completion (queue drained or horizon reached).
     pub fn run(mut self) -> SimReport {
         let horizon = Timestamp::ZERO + self.config.horizon;
-        loop {
-            let Some(at) = self.scheduler.peek_time() else { break };
-            if at > horizon {
+        self.run_until(horizon);
+        self.finish()
+    }
+
+    /// Processes every queued event up to (and including) `deadline`,
+    /// clamped to the configured horizon, then returns. This is the stepped
+    /// interface the closed-loop pipeline drives: advance the RAN one report
+    /// period, extract telemetry, let the RIC react, apply the resulting
+    /// control actions, repeat.
+    pub fn run_until(&mut self, deadline: Timestamp) {
+        let deadline = deadline.min(Timestamp::ZERO + self.config.horizon);
+        while let Some(at) = self.scheduler.peek_time() {
+            if at > deadline {
                 break;
             }
             let (now, event) = self.scheduler.pop().expect("peeked event exists");
             self.dispatch(now, event);
         }
-        let ended_at = self.scheduler.now();
+    }
+
+    /// Consumes the simulator and produces the final report.
+    pub fn finish(self) -> SimReport {
         SimReport {
             events: self.events,
             trace: self.trace,
             gnb_stats: self.gnb.stats(),
             channel_stats: self.channel.stats(),
-            ended_at,
+            ended_at: self.scheduler.now(),
             registrations: self.registrations,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Timestamp {
+        self.scheduler.now()
+    }
+
+    /// The labeled event stream accumulated so far (grows as the run
+    /// advances — the closed-loop driver re-extracts telemetry from it).
+    pub fn events(&self) -> &[RanEvent] {
+        &self.events
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Enforces one RIC control action at virtual time `now`, routing any
+    /// resulting downlinks (releases, detaches) through the normal
+    /// transmission path so they are tapped and delivered like any other
+    /// network-initiated traffic.
+    pub fn apply_control(&mut self, now: Timestamp, control: &xsec_control::ControlAction) {
+        for action in self.gnb.apply_control(now, control) {
+            self.apply_gnb_action(now, action);
         }
     }
 
@@ -374,6 +413,11 @@ impl RanSimulator {
         let Some(conn) = self.ues[ue].conn else {
             return; // stale uplink for a torn-down connection
         };
+        // MAC-level enforcement: a blacklisted C-RNTI's frames are dropped
+        // before the tap, so mitigated traffic leaves no telemetry.
+        if self.gnb.uplink_blocked(conn, now) {
+            return;
+        }
         // RRC messages are tapped here; uplink NAS is tapped at the NGAP
         // relay point (`ToAmf`) so piggybacked containers get their own
         // telemetry entry, matching the paper's message ladders.
@@ -403,6 +447,11 @@ impl RanSimulator {
                 self.conn_to_ue.insert(conn, ue);
                 self.emit_event(now, conn, true, &msg, ue);
                 self.downlink_send(now, conn, Some(ue), L3Message::Rrc(RrcMessage::Setup));
+            }
+            Err(AdmitError::RateLimited) | Err(AdmitError::Quarantined) => {
+                // RIC-mitigation drop at the MAC: the frame is discarded
+                // before the network tap, so no event and no reject — the
+                // attacker just hears silence.
             }
             Err(AdmitError::Congestion) | Err(AdmitError::RntiExhausted) => {
                 // Reject on a temporary RNTI; no context is created.
@@ -796,7 +845,7 @@ mod tests {
         });
         let mut rng = sim.streams.stream("test-setup");
         for i in 0..10 {
-            let msin = 5000 + i as u64;
+            let msin = 5000 + i;
             sim.add_subscriber(SubscriberRecord { supi: Supi::new(Plmn::TEST, msin), key: i });
             let ue = BenignUe::new(
                 DeviceModel::Pixel5,

@@ -10,6 +10,7 @@ use crate::latency::LatencyTracker;
 use crate::router::Router;
 use crate::xapp::{XApp, XAppContext};
 use crossbeam_channel::Receiver;
+use std::collections::VecDeque;
 use std::time::Instant;
 use xsec_e2::{E2apPdu, E2Transport, KpmIndication, RicRequestId, RAN_FUNCTION_MOBIFLOW};
 use xsec_mobiflow::SharedDataLayer;
@@ -83,6 +84,14 @@ pub struct RicPlatform {
     latency: LatencyTracker,
     control_queue: Vec<Vec<u8>>,
     indications_seen: u64,
+    /// Send instants of Control Requests still awaiting their ack. E2AP
+    /// Control Acks carry no correlation id, but the transport is an ordered
+    /// queue and the agent acks every request on receipt, so the oldest
+    /// in-flight send owns the next ack.
+    inflight_controls: VecDeque<Instant>,
+    control_latency: LatencyTracker,
+    controls_acked: u64,
+    controls_failed: u64,
 }
 
 impl Default for RicPlatform {
@@ -103,6 +112,10 @@ impl RicPlatform {
             latency: LatencyTracker::new(),
             control_queue: Vec::new(),
             indications_seen: 0,
+            inflight_controls: VecDeque::new(),
+            control_latency: LatencyTracker::new(),
+            controls_acked: 0,
+            controls_failed: 0,
         }
     }
 
@@ -124,6 +137,21 @@ impl RicPlatform {
     /// Indications received so far.
     pub fn indications_seen(&self) -> u64 {
         self.indications_seen
+    }
+
+    /// Wall-clock send→ack latency statistics for Control Requests.
+    pub fn control_latency(&self) -> &LatencyTracker {
+        &self.control_latency
+    }
+
+    /// Control Requests acknowledged as accepted.
+    pub fn controls_acked(&self) -> u64 {
+        self.controls_acked
+    }
+
+    /// Control Requests acknowledged as refused by the agent.
+    pub fn controls_failed(&self) -> u64 {
+        self.controls_failed
     }
 
     /// Attaches a RAN agent connection (the RIC end of an E2 transport).
@@ -207,6 +235,7 @@ impl RicPlatform {
                         }
                         .encode(),
                     )?;
+                    self.inflight_controls.push_back(Instant::now());
                     stats.controls_sent += 1;
                 }
             }
@@ -262,7 +291,20 @@ impl RicPlatform {
                 }
                 Ok(())
             }
-            E2apPdu::ControlAck { .. } => Ok(()),
+            E2apPdu::ControlAck { success, .. } => {
+                if let Some(sent_at) = self.inflight_controls.pop_front() {
+                    self.control_latency.record(sent_at.elapsed());
+                }
+                if success {
+                    self.controls_acked += 1;
+                } else {
+                    self.controls_failed += 1;
+                }
+                // Relay the outcome to xApps (the mitigator closes its
+                // delivery loop off this topic).
+                self.router.publish("control-acks", &[success as u8]);
+                Ok(())
+            }
             other => Err(XsecError::Ric(format!("unexpected PDU at RIC: {other:?}"))),
         }
     }
@@ -485,5 +527,14 @@ mod tests {
         assert_eq!(stats.controls_sent, 1);
         agent.poll(Timestamp(100_000)).unwrap();
         assert_eq!(agent.take_control_requests(), vec![b"throttle".to_vec()]);
+
+        // The agent acked on receipt; the next pump correlates it, records
+        // the send→ack latency, and relays the outcome on "control-acks".
+        let acks = platform.router().subscribe("control-acks");
+        platform.pump().unwrap();
+        assert_eq!(platform.controls_acked(), 1);
+        assert_eq!(platform.controls_failed(), 0);
+        assert_eq!(platform.control_latency().count(), 1);
+        assert_eq!(acks.try_recv().unwrap(), vec![1]);
     }
 }

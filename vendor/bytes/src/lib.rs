@@ -1,0 +1,342 @@
+//! Offline stand-in for `bytes`: `Buf`/`BufMut` plus `Bytes`/`BytesMut`
+//! backed by plain vectors. Multi-byte accessors are big-endian, matching
+//! the real crate's `get_u16`/`put_u16` family.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read access to a contiguous buffer, consuming from the front.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Copies the next `len` bytes into a fresh `Bytes`, advancing.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.remaining() >= len, "buffer underflow");
+        let out = Bytes::copy_from_slice(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    fn get_i16(&mut self) -> i16 {
+        self.get_u16() as i16
+    }
+
+    fn get_i32(&mut self) -> i32 {
+        self.get_u32() as i32
+    }
+
+    fn get_i64(&mut self) -> i64 {
+        self.get_u64() as i64
+    }
+}
+
+/// Write access to a growable buffer.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_i8(&mut self, v: i8) {
+        self.put_u8(v as u8);
+    }
+
+    fn put_i16(&mut self, v: i16) {
+        self.put_u16(v as u16);
+    }
+
+    fn put_i32(&mut self, v: i32) {
+        self.put_u32(v as u32);
+    }
+
+    fn put_i64(&mut self, v: i64) {
+        self.put_u64(v as u64);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// An immutable byte buffer consumed from the front.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.to_vec(), pos: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits off the first `at` remaining bytes into a new `Bytes`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let front = self.data[self.pos..self.pos + at].to_vec();
+        self.pos += at;
+        Bytes { data: front, pos: 0 }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.chunk().to_vec()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.pos += cnt;
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.chunk() == other.chunk()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", self.chunk())
+    }
+}
+
+/// A growable byte buffer; reads consume from the front, writes append.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Splits off the entire buffer, leaving `self` empty.
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut { data: std::mem::take(&mut self.data) }
+    }
+
+    /// Splits off the first `at` bytes into a new `BytesMut`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let rest = self.data.split_off(at);
+        let front = std::mem::replace(&mut self.data, rest);
+        BytesMut { data: front }
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, pos: 0 }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.data.len(), "advance out of bounds");
+        self.data.drain(..cnt);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(data: Vec<u8>) -> Self {
+        BytesMut { data }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({:?})", self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(1);
+        buf.put_u16(0x0203);
+        buf.put_u32(0x0405_0607);
+        buf.put_u64(0x0809_0a0b_0c0d_0e0f);
+        assert_eq!(buf.len(), 15);
+        let mut rd = Bytes::copy_from_slice(&buf);
+        assert_eq!(rd.get_u8(), 1);
+        assert_eq!(rd.get_u16(), 0x0203);
+        assert_eq!(rd.get_u32(), 0x0405_0607);
+        assert_eq!(rd.get_u64(), 0x0809_0a0b_0c0d_0e0f);
+        assert_eq!(rd.remaining(), 0);
+    }
+
+    #[test]
+    fn split_to_consumes_front() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"\x00\x00\x00\x02hiworld");
+        buf.advance(4);
+        let frame = buf.split_to(2);
+        assert_eq!(&frame[..], b"hi");
+        assert_eq!(&buf[..], b"world");
+    }
+}

@@ -1,0 +1,157 @@
+//! Offline stand-in for `proptest`: deterministic randomized testing with
+//! the same surface syntax (`proptest!`, `prop_oneof!`, `any`, `Strategy`,
+//! `collection::vec`, `option::of`, range strategies, and a regex-subset
+//! string strategy). Each `proptest!` test runs a fixed number of cases from
+//! a seed derived from the test name, so failures reproduce exactly.
+//! Intentional simplification: failing inputs are reported, not shrunk.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Cases per property (real proptest defaults to 256; 64 keeps the suite
+/// fast while still exploring the space).
+pub const CASES: u64 = 64;
+
+/// Deterministic generator for test-case production (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Stable hash for deriving per-test seeds from test names.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions that run a property over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..$crate::CASES {
+                let mut __rng =
+                    $crate::TestRng::from_seed(__seed.wrapping_add(__case.wrapping_mul(0x9e37_79b9)));
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                $body
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Property-scoped assertion (no shrinking, so plain assert semantics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn generated_ranges_hold(x in 3u8..10, y in 0usize..=4, s in "[a-c]{1,3}") {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec(any::<u8>(), 0..16),
+            o in crate::option::of(any::<u32>()),
+            choice in prop_oneof![Just(1u8), Just(2u8), 3u8..5],
+            (a, b) in (any::<bool>(), 0u16..100),
+        ) {
+            prop_assert!(v.len() < 16);
+            prop_assert!(o.is_none() || o.is_some());
+            prop_assert!((1..5).contains(&choice));
+            prop_assert!(b < 100);
+            let _ = a;
+        }
+
+        #[test]
+        fn mapped_strategies_apply(n in (0u32..10).prop_map(|x| x * 2)) {
+            prop_assert!(n % 2 == 0 && n < 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = crate::collection::vec(any::<u64>(), 3..4);
+        let mut r1 = crate::TestRng::from_seed(9);
+        let mut r2 = crate::TestRng::from_seed(9);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

@@ -1,0 +1,27 @@
+//! Option strategies.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Strategy producing `Option`s (3:1 biased toward `Some`, like the real
+/// crate's default).
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// `proptest::option::of(inner)`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

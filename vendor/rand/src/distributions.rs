@@ -1,0 +1,77 @@
+//! Distributions: the `Standard` uniform distribution over a type's domain.
+
+use crate::RngCore;
+use std::marker::PhantomData;
+
+/// Types that can produce values of `T` from a generator.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The canonical distribution: uniform over the value domain (for floats,
+/// uniform in `[0, 1)`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Iterator over samples, returned by [`crate::Rng::sample_iter`].
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    _marker: PhantomData<T>,
+}
+
+impl<D, R, T> DistIter<D, R, T> {
+    pub(crate) fn new(distr: D, rng: R) -> Self {
+        DistIter { distr, rng, _marker: PhantomData }
+    }
+}
+
+impl<D, R, T> Iterator for DistIter<D, R, T>
+where
+    D: Distribution<T>,
+    R: RngCore,
+{
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}

@@ -1,0 +1,430 @@
+//! Offline stand-in for `serde_derive`, built directly on `proc_macro`
+//! token trees (no syn/quote in this environment). It supports the shapes
+//! the workspace actually derives: named structs, tuple/newtype structs,
+//! unit structs, and enums with unit (optionally discriminant-valued),
+//! newtype, tuple, and struct variants — plus the `#[serde(skip)]` field
+//! attribute. Generics are intentionally unsupported.
+//!
+//! The generated code targets the simplified `serde` traits
+//! (`to_json_value`/`from_json_value`) and reproduces real serde's JSON
+//! encoding: objects in declaration order, newtype structs transparent,
+//! enums externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---- item model -----------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(Vec<Field>),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    UnitStruct,
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+// ---- token-tree parsing ---------------------------------------------------
+
+fn is_punct(tok: Option<&TokenTree>, ch: char) -> bool {
+    matches!(tok, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+fn ident_str(tok: &TokenTree) -> Option<String> {
+    match tok {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Skips attributes at `i`, returning whether any was `#[serde(skip)]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while is_punct(toks.get(*i), '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if inner.first().and_then(ident_str).as_deref() == Some("serde") {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        let args = args.stream().to_string();
+                        if args.split(',').any(|a| a.trim() == "skip") {
+                            skip = true;
+                        } else {
+                            panic!("serde_derive stub: unsupported attribute #[serde({args})]");
+                        }
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    skip
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    let is_pub = matches!(toks.get(*i), Some(tok) if ident_str(tok).as_deref() == Some("pub"));
+    if is_pub {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Advances past one type (or discriminant expression), stopping at a
+/// top-level `,`. Tracks `<...>` nesting; groups are single trees already.
+fn skip_to_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = toks.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let skip = skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let name = ident_str(&toks[i]).expect("serde_derive stub: expected field name");
+        i += 1;
+        assert!(is_punct(toks.get(i), ':'), "serde_derive stub: expected `:` after field name");
+        i += 1;
+        skip_to_comma(&toks, &mut i);
+        i += 1; // past the comma (or end)
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let skip = skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break; // trailing comma
+        }
+        skip_to_comma(&toks, &mut i);
+        i += 1;
+        fields.push(Field { name: fields.len().to_string(), skip });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = ident_str(&toks[i]).expect("serde_derive stub: expected variant name");
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            tok if is_punct(tok, '=') => {
+                // Explicit discriminant: skip the expression, keep unit shape.
+                i += 1;
+                skip_to_comma(&toks, &mut i);
+                VariantKind::Unit
+            }
+            _ => VariantKind::Unit,
+        };
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = ident_str(&toks[i]).expect("serde_derive stub: expected struct/enum");
+    i += 1;
+    let name = ident_str(&toks[i]).expect("serde_derive stub: expected item name");
+    i += 1;
+    if is_punct(toks.get(i), '<') {
+        panic!("serde_derive stub: generic types are not supported (deriving `{name}`)");
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            tok if is_punct(tok, ';') => ItemKind::UnitStruct,
+            _ => panic!("serde_derive stub: unsupported struct shape for `{name}`"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive stub: expected enum body for `{name}`"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}`"),
+    };
+    Item { name, kind }
+}
+
+// ---- code generation ------------------------------------------------------
+
+fn ser_named_fields(fields: &[Field], accessor: &str) -> String {
+    let mut out = String::from("let mut __obj: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "__obj.push((\"{n}\".to_string(), ::serde::Serialize::to_json_value({a}{n})));\n",
+            n = f.name,
+            a = accessor,
+        ));
+    }
+    out.push_str("::serde::Value::Object(__obj)");
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::NamedStruct(fields) => ser_named_fields(fields, "&self."),
+        ItemKind::TupleStruct(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if live.len() == 1 {
+                format!("::serde::Serialize::to_json_value(&self.{})", live[0].name)
+            } else {
+                let items: Vec<String> = live
+                    .iter()
+                    .map(|f| format!("::serde::Serialize::to_json_value(&self.{})", f.name))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(fields) => {
+                        let binders: Vec<String> =
+                            (0..fields.len()).map(|k| format!("__f{k}")).collect();
+                        let inner = if fields.len() == 1 {
+                            "::serde::Serialize::to_json_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::__tag(\"{vn}\", {inner}),\n",
+                            binds = binders.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = ser_named_fields(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::__tag(\"{vn}\", {{ {inner} }}),\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn de_named_fields(ty: &str, fields: &[Field], obj_expr: &str) -> String {
+    let mut inits = Vec::new();
+    for f in fields {
+        if f.skip {
+            inits.push(format!("{}: ::std::default::Default::default()", f.name));
+        } else {
+            inits.push(format!(
+                "{n}: match ::serde::__get({obj}, \"{n}\") {{\n\
+                 Some(__v) => ::serde::Deserialize::from_json_value(__v)?,\n\
+                 None => return Err(::serde::__missing(\"{ty}\", \"{n}\")),\n}}",
+                n = f.name,
+                obj = obj_expr,
+            ));
+        }
+    }
+    inits.join(",\n")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::UnitStruct => format!("{{ let _ = __v; Ok({name}) }}"),
+        ItemKind::NamedStruct(fields) => {
+            let inits = de_named_fields(name, fields, "__obj");
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::__unexpected(\"{name}\", __v))?;\n\
+                 Ok({name} {{\n{inits}\n}})"
+            )
+        }
+        ItemKind::TupleStruct(fields) => {
+            if fields.len() == 1 && !fields[0].skip {
+                format!("Ok({name}(::serde::Deserialize::from_json_value(__v)?))")
+            } else {
+                let live = fields.iter().filter(|f| !f.skip).count();
+                let mut idx = 0usize;
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        if f.skip {
+                            "::std::default::Default::default()".to_string()
+                        } else {
+                            let s = format!(
+                                "::serde::Deserialize::from_json_value(&__arr[{idx}])?"
+                            );
+                            idx += 1;
+                            s
+                        }
+                    })
+                    .collect();
+                format!(
+                    "let __arr = __v.as_array().ok_or_else(|| ::serde::__unexpected(\"{name}\", __v))?;\n\
+                     if __arr.len() != {live} {{\n\
+                     return Err(::serde::Error::custom(format!(\"expected {live} elements for {name}, got {{}}\", __arr.len())));\n\
+                     }}\n\
+                     Ok({name}({inits}))",
+                    inits = inits.join(", "),
+                )
+            }
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(fields) => {
+                        let inner = if fields.len() == 1 {
+                            format!(
+                                "Ok({name}::{vn}(::serde::Deserialize::from_json_value(__inner)?))"
+                            )
+                        } else {
+                            let n = fields.len();
+                            let inits: Vec<String> = (0..n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_json_value(&__arr[{k}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{{ let __arr = __inner.as_array().ok_or_else(|| ::serde::__unexpected(\"{name}::{vn}\", __inner))?;\n\
+                                 if __arr.len() != {n} {{\n\
+                                 return Err(::serde::Error::custom(\"wrong tuple arity for {name}::{vn}\"));\n\
+                                 }}\n\
+                                 Ok({name}::{vn}({inits})) }}",
+                                inits = inits.join(", "),
+                            )
+                        };
+                        tagged_arms.push_str(&format!("\"{vn}\" => {inner},\n"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits = de_named_fields(&format!("{name}::{vn}"), fields, "__obj");
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __obj = __inner.as_object().ok_or_else(|| ::serde::__unexpected(\"{name}::{vn}\", __inner))?;\n\
+                             Ok({name}::{vn} {{\n{inits}\n}})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 _ => Err(::serde::__unexpected(\"{name}\", __v)),\n\
+                 }},\n\
+                 ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__o[0];\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 _ => Err(::serde::__unexpected(\"{name}\", __v)),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(::serde::__unexpected(\"{name}\", __v)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,402 @@
+//! Offline stand-in for `serde_json`: a complete JSON parser/serializer over
+//! the shared `serde::Value` tree, plus the `json!` construction macro.
+
+pub use serde::{Error, Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value as compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().to_string())
+}
+
+/// Serializes a value as compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a value from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value(s)?;
+    T::from_json_value(&value)
+}
+
+/// Parses a value from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(Error::custom)?;
+    from_str(s)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    T::from_json_value(&value)
+}
+
+#[doc(hidden)]
+pub fn __value_of<T: Serialize + ?Sized>(v: &T) -> Value {
+    v.to_json_value()
+}
+
+// ---- parser ---------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error::custom(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<()> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null").map(|()| Value::Null),
+            Some(b't') => self.eat_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u16::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let code = 0x10000
+                                    + ((hi as u32 - 0xD800) << 10)
+                                    + (lo as u32 - 0xDC00);
+                                char::from_u32(code).ok_or_else(|| self.err("bad surrogate"))?
+                            } else {
+                                char::from_u32(hi as u32)
+                                    .ok_or_else(|| self.err("unpaired surrogate"))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character; pos only ever advances by
+                    // whole characters, so the tail is always valid UTF-8.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("unterminated string"))?;
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("control character in string"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Value::Number(Number::I(n)));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U(n)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::F(f)))
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+// ---- json! ----------------------------------------------------------------
+
+/// Builds a [`Value`] from JSON-ish syntax, interpolating Rust expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        // The push sequence lives inside the `let` initializer so the
+        // statement-level lint allows cover it.
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let __arr_value: $crate::Value = {
+            let mut __arr: Vec<$crate::Value> = Vec::new();
+            $crate::__json_arr!(__arr ( $($tt)* ));
+            $crate::Value::Array(__arr)
+        };
+        __arr_value
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let __obj_value: $crate::Value = {
+            let mut __obj: Vec<(String, $crate::Value)> = Vec::new();
+            $crate::__json_obj!(__obj ( $($tt)* ));
+            $crate::Value::Object(__obj)
+        };
+        __obj_value
+    }};
+    ($other:expr) => { $crate::__value_of(&$other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_obj {
+    ($obj:ident ()) => {};
+    ($obj:ident ( $key:literal : null $(, $($rest:tt)*)? )) => {
+        $obj.push(($key.to_string(), $crate::Value::Null));
+        $crate::__json_obj!($obj ( $($($rest)*)? ));
+    };
+    ($obj:ident ( $key:literal : { $($map:tt)* } $(, $($rest:tt)*)? )) => {
+        $obj.push(($key.to_string(), $crate::json!({ $($map)* })));
+        $crate::__json_obj!($obj ( $($($rest)*)? ));
+    };
+    ($obj:ident ( $key:literal : [ $($arr:tt)* ] $(, $($rest:tt)*)? )) => {
+        $obj.push(($key.to_string(), $crate::json!([ $($arr)* ])));
+        $crate::__json_obj!($obj ( $($($rest)*)? ));
+    };
+    ($obj:ident ( $key:literal : $val:expr $(, $($rest:tt)*)? )) => {
+        $obj.push(($key.to_string(), $crate::__value_of(&$val)));
+        $crate::__json_obj!($obj ( $($($rest)*)? ));
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_arr {
+    ($arr:ident ()) => {};
+    ($arr:ident ( null $(, $($rest:tt)*)? )) => {
+        $arr.push($crate::Value::Null);
+        $crate::__json_arr!($arr ( $($($rest)*)? ));
+    };
+    ($arr:ident ( { $($map:tt)* } $(, $($rest:tt)*)? )) => {
+        $arr.push($crate::json!({ $($map)* }));
+        $crate::__json_arr!($arr ( $($($rest)*)? ));
+    };
+    ($arr:ident ( [ $($inner:tt)* ] $(, $($rest:tt)*)? )) => {
+        $arr.push($crate::json!([ $($inner)* ]));
+        $crate::__json_arr!($arr ( $($($rest)*)? ));
+    };
+    ($arr:ident ( $val:expr $(, $($rest:tt)*)? )) => {
+        $arr.push($crate::__value_of(&$val));
+        $crate::__json_arr!($arr ( $($($rest)*)? ));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_print_round_trip() {
+        let text = r#"{"a":1,"b":[true,null,-2,3.5],"c":{"d":"x\ny"}}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v.to_string(), text);
+    }
+
+    #[test]
+    fn json_macro_builds_nested_objects() {
+        let model = "gpt-4o".to_string();
+        let body = json!({
+            "model": model,
+            "messages": [{"role": "user", "content": "hi"}],
+            "temperature": 0.0,
+        });
+        let s = body.to_string();
+        assert!(s.contains("\"model\":\"gpt-4o\""));
+        assert!(s.contains("\"temperature\":0.0"));
+        assert!(s.contains("[{\"role\":\"user\",\"content\":\"hi\"}]"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,null,3]");
+        let back: Vec<Option<u32>> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for f in [0.1f32, -3.75, 1.0, 123456.78] {
+            let s = to_string(&f).unwrap();
+            let back: f32 = from_str(&s).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+}
