@@ -85,7 +85,7 @@ fn bench(c: &mut Criterion) {
             |mut ex| {
                 let t0 = Timestamp(1_000_000);
                 for action in &batch {
-                    ex.submit(action.clone(), t0, t0);
+                    ex.submit(action.clone(), Some(CellId(1)), t0, t0);
                 }
                 let shipped = ex.take_due(t0);
                 for _ in 0..shipped.len() {

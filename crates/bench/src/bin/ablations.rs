@@ -20,7 +20,18 @@ struct Eval {
     attack_precision: f64,
 }
 
-fn evaluate(training: &TrainingConfig, seed: u64, sessions: usize, pct: f64) -> Eval {
+/// Runs one train+score cycle, timing it into the harness registry so the
+/// sweep cost shows up in the exported snapshot.
+fn evaluate(training: &TrainingConfig, seed: u64, sessions: usize, pct: f64, sweep: &str) -> Eval {
+    let timer = xsec_bench::obs()
+        .histogram("xsec_bench_ablation_eval_latency_us", &[("sweep", sweep)]);
+    let start = std::time::Instant::now();
+    let eval = evaluate_inner(training, seed, sessions, pct);
+    timer.observe_duration(start.elapsed());
+    eval
+}
+
+fn evaluate_inner(training: &TrainingConfig, seed: u64, sessions: usize, pct: f64) -> Eval {
     let benign = DatasetBuilder::small(seed, sessions).benign();
     let benign_stream = extract_from_events(&benign.events);
     let models = Smo::train(training, &benign_stream).expect("training succeeds");
@@ -82,7 +93,7 @@ fn main() {
     emit(format!("  {:<6} {:>14} {:>14} {:>16}", "N", "benign acc", "attack recall", "attack precision"));
     for window in [2usize, 4, 6, 8, 12] {
         let training = TrainingConfig { window, ..base.clone() };
-        let e = evaluate(&training, 10, sessions, 99.0);
+        let e = evaluate(&training, 10, sessions, 99.0, "window");
         emit(format!(
             "  {:<6} {:>13.1}% {:>13.1}% {:>15.1}%",
             window, e.benign_accuracy, e.attack_recall, e.attack_precision
@@ -93,7 +104,7 @@ fn main() {
     emit(format!("  {:<6} {:>14} {:>14} {:>16}", "pct", "benign acc", "attack recall", "attack precision"));
     for pct in [90.0, 95.0, 99.0, 99.9] {
         let training = TrainingConfig { threshold_pct: pct, ..base.clone() };
-        let e = evaluate(&training, 11, sessions, pct);
+        let e = evaluate(&training, 11, sessions, pct, "threshold");
         emit(format!(
             "  {:<6} {:>13.1}% {:>13.1}% {:>15.1}%",
             pct, e.benign_accuracy, e.attack_recall, e.attack_precision
@@ -104,7 +115,7 @@ fn main() {
     emit(format!("  {:<12} {:>14} {:>14} {:>16}", "hidden", "benign acc", "attack recall", "attack precision"));
     for hidden in [vec![16, 4], vec![32, 8], vec![64, 16], vec![128, 32]] {
         let training = TrainingConfig { autoencoder_hidden: hidden.clone(), ..base.clone() };
-        let e = evaluate(&training, 12, sessions, 99.0);
+        let e = evaluate(&training, 12, sessions, 99.0, "bottleneck");
         emit(format!(
             "  {:<12} {:>13.1}% {:>13.1}% {:>15.1}%",
             format!("{hidden:?}"),
@@ -141,5 +152,20 @@ fn main() {
     }
     emit(format!("  ... plus alert cooldown ({cooldown}): {:>7}  (deployed policy)", calls));
 
+    // Surface what the sweeps themselves cost, per sweep kind.
+    let snapshot = xsec_bench::obs().snapshot();
+    emit("\nHarness cost (train+score cycle per sweep point)".into());
+    for (sample, h) in snapshot.histograms("xsec_bench_ablation_eval_latency_us") {
+        let sweep = sample.labels.first().map(|(_, v)| v.as_str()).unwrap_or("?");
+        emit(format!(
+            "  {:<12} n={}  p50={:.0}ms  max={:.0}ms",
+            sweep,
+            h.count,
+            h.p50 / 1000.0,
+            h.max as f64 / 1000.0
+        ));
+    }
+
     xsec_bench::save_report("ablations", &out);
+    xsec_bench::save_metrics(&snapshot, "ablations-metrics");
 }

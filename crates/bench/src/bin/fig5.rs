@@ -10,7 +10,12 @@ fn main() {
     } else {
         PipelineConfig::paper(61)
     };
-    eprintln!("running Figure 5 (training + flagging a flood window) ...");
+    let obs = xsec_bench::obs();
+    xsec_obs::info!(
+        obs,
+        "fig5",
+        "running Figure 5 (training + flagging a flood window) ..."
+    );
     let result = fig5::run(&config);
     let text = result.render();
     println!("{text}");

@@ -34,6 +34,7 @@ fn flood_sim(seed: u64, sessions: usize, connections: u32) -> RanSimulator {
 }
 
 fn render(name: &str, baseline_attack: usize, closed: &ClosedLoopOutcome) -> String {
+    let snap = &closed.outcome.metrics;
     let m = &closed.outcome.mitigation;
     let mut text = format!("== {name} ==\n");
     text.push_str(&format!(
@@ -74,18 +75,21 @@ fn render(name: &str, baseline_attack: usize, closed: &ClosedLoopOutcome) -> Str
         }
         _ => text.push_str("  detection->ack p99: (no acked actions)\n"),
     }
+    text.push_str("  stage latency breakdown (wall clock):\n");
+    text.push_str(&xsec_bench::render_stage_latencies(snap, xsec_bench::PIPELINE_STAGES));
     text
 }
 
 fn main() {
+    let obs = xsec_bench::obs();
     let quick = xsec_bench::quick_mode();
     let (sessions, connections) = if quick { (12, 200) } else { (20, 300) };
 
-    eprintln!("training the detector ...");
+    xsec_obs::info!(obs, "mitigate", "training the detector ...");
     let pipeline = Pipeline::train(&PipelineConfig::small(31, sessions));
     let mut text = String::from("Closed-loop mitigation: detection -> E2 Control -> enforcement\n\n");
 
-    eprintln!("closed loop: BTS DoS flood ...");
+    xsec_obs::info!(obs, "mitigate", "closed loop: BTS DoS flood ...");
     let baseline = flood_sim(31, sessions, connections).run();
     let closed = pipeline.run_closed_loop(flood_sim(31, sessions, connections));
     text.push_str(&render(
@@ -94,17 +98,20 @@ fn main() {
         &closed,
     ));
 
-    eprintln!("closed loop: null cipher ...");
+    xsec_obs::info!(obs, "mitigate", "closed loop: null cipher ...");
     let cfg = scenario(33, sessions, Duration::from_secs(20));
     let baseline = attack_simulator(AttackKind::NullCipher, &cfg).run();
-    let closed = pipeline.run_closed_loop(attack_simulator(AttackKind::NullCipher, &cfg));
+    let closed2 = pipeline.run_closed_loop(attack_simulator(AttackKind::NullCipher, &cfg));
     text.push('\n');
     text.push_str(&render(
         "Null cipher (bidding-down MiTM)",
         baseline.attack_events().count(),
-        &closed,
+        &closed2,
     ));
 
     println!("{text}");
     xsec_bench::save_report("mitigate", &text);
+    // The flood run exercises every stage; its snapshot is the canonical
+    // per-run exposition CI asserts on.
+    xsec_bench::save_metrics(&closed.outcome.metrics, "metrics");
 }

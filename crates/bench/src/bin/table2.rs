@@ -9,9 +9,14 @@ fn main() {
     } else {
         Table2Config::default()
     };
-    eprintln!(
+    let obs = xsec_bench::obs();
+    xsec_obs::info!(
+        obs,
+        "table2",
         "running Table 2 (seed {}, {} benign sessions, {} folds) ...",
-        config.seed, config.benign_sessions, config.folds
+        config.seed,
+        config.benign_sessions,
+        config.folds
     );
     let result = table2::run(&config);
     let text = result.render();

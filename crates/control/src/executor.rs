@@ -10,7 +10,7 @@
 //! ack is observed — which is the paper's detection→mitigation budget.
 
 use crate::action::ControlAction;
-use xsec_types::{Duration, Timestamp};
+use xsec_types::{CellId, Duration, Timestamp};
 
 /// Retry/backoff tuning for the executor.
 #[derive(Debug, Clone)]
@@ -57,12 +57,28 @@ pub enum ActionState {
 pub struct TrackedAction {
     /// The action under delivery.
     pub action: ControlAction,
+    /// The cell whose owning agent must enforce it, when known (the RIC
+    /// routes the Control Request by this).
+    pub cell: Option<CellId>,
     /// Virtual time of the detection that produced it.
     pub detected_at: Timestamp,
     /// Virtual time the policy engine submitted it.
     pub submitted_at: Timestamp,
     /// Current delivery state.
     pub state: ActionState,
+}
+
+/// What one Control Ack resolved to, for metrics attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckResolution {
+    /// The acked action's id.
+    pub id: u32,
+    /// The mitigation kind (see [`crate::MitigationAction::name`]).
+    pub kind: &'static str,
+    /// Whether the agent accepted the request.
+    pub success: bool,
+    /// Virtual detection→ack latency (set only on success).
+    pub detection_to_ack: Option<Duration>,
 }
 
 impl TrackedAction {
@@ -94,19 +110,28 @@ impl ActionExecutor {
         ActionExecutor { config, ..Default::default() }
     }
 
-    /// Registers an action for delivery.
-    pub fn submit(&mut self, action: ControlAction, detected_at: Timestamp, now: Timestamp) {
+    /// Registers an action for delivery. `cell` pins the action to the agent
+    /// serving that cell (None = any agent).
+    pub fn submit(
+        &mut self,
+        action: ControlAction,
+        cell: Option<CellId>,
+        detected_at: Timestamp,
+        now: Timestamp,
+    ) {
         self.tracked.push(TrackedAction {
             action,
+            cell,
             detected_at,
             submitted_at: now,
             state: ActionState::Pending,
         });
     }
 
-    /// Returns every payload due on the wire now: first transmissions for
-    /// pending actions plus retries for overdue unacked ones.
-    pub fn take_due(&mut self, now: Timestamp) -> Vec<Vec<u8>> {
+    /// Returns every payload due on the wire now — first transmissions for
+    /// pending actions plus retries for overdue unacked ones — each with its
+    /// routing cell.
+    pub fn take_due(&mut self, now: Timestamp) -> Vec<(Option<CellId>, Vec<u8>)> {
         let mut due = Vec::new();
         for (idx, tracked) in self.tracked.iter_mut().enumerate() {
             let attempts = match tracked.state {
@@ -121,25 +146,32 @@ impl ActionExecutor {
             };
             tracked.state = ActionState::Sent { attempts: attempts + 1, last_sent: now };
             self.inflight.push(idx);
-            due.push(tracked.action.encode());
+            due.push((tracked.cell, tracked.action.encode()));
         }
         due
     }
 
     /// Correlates one incoming Control Ack to the oldest unacked
-    /// transmission. Acks for transmissions whose action already resolved
-    /// (a retry raced the first ack, or the TTL expired) are dropped.
-    pub fn on_ack(&mut self, success: bool, now: Timestamp) {
+    /// transmission and reports what it resolved. Acks for transmissions
+    /// whose action already resolved (a retry raced the first ack, or the
+    /// TTL expired) are dropped and return `None`.
+    pub fn on_ack(&mut self, success: bool, now: Timestamp) -> Option<AckResolution> {
         while !self.inflight.is_empty() {
             let idx = self.inflight.remove(0);
             let tracked = &mut self.tracked[idx];
             if matches!(tracked.state, ActionState::Sent { .. }) {
                 tracked.state = ActionState::Acked { at: now, success };
-                return;
+                return Some(AckResolution {
+                    id: tracked.action.id,
+                    kind: tracked.action.action.name(),
+                    success,
+                    detection_to_ack: tracked.detection_to_ack(),
+                });
             }
             // Already resolved — this ack belongs to a stale retry; consume
             // the inflight slot and let the ack settle the next sender.
         }
+        None
     }
 
     /// Advances TTL expiry and attempt exhaustion.
@@ -214,13 +246,18 @@ mod tests {
     fn submit_send_ack_measures_detection_latency() {
         let mut ex = ActionExecutor::default();
         let detected = ms(100);
-        ex.submit(action(1), detected, ms(150));
+        ex.submit(action(1), Some(CellId(3)), detected, ms(150));
         let due = ex.take_due(ms(150));
         assert_eq!(due.len(), 1);
-        assert_eq!(ControlAction::decode(&due[0]).unwrap(), action(1));
+        assert_eq!(due[0].0, Some(CellId(3)), "routing cell rides along");
+        assert_eq!(ControlAction::decode(&due[0].1).unwrap(), action(1));
         // Nothing further due before the retry deadline.
         assert!(ex.take_due(ms(200)).is_empty());
-        ex.on_ack(true, ms(230));
+        let res = ex.on_ack(true, ms(230)).expect("ack resolves the send");
+        assert_eq!(res.id, 1);
+        assert_eq!(res.kind, "blacklist-rnti");
+        assert!(res.success);
+        assert_eq!(res.detection_to_ack, Some(Duration::from_millis(130)));
         assert_eq!(ex.tally(), (1, 0, 0, 0));
         assert_eq!(ex.detection_to_ack_latencies(), vec![Duration::from_millis(130)]);
     }
@@ -232,7 +269,7 @@ mod tests {
             retry_after: Duration::from_millis(100),
         });
         let t0 = ms(0);
-        ex.submit(action(1), t0, t0);
+        ex.submit(action(1), None, t0, t0);
         assert_eq!(ex.take_due(t0).len(), 1);
         assert_eq!(ex.take_due(ms(120)).len(), 1, "retry due");
         assert!(ex.take_due(ms(240)).is_empty(), "attempts spent");
@@ -246,16 +283,19 @@ mod tests {
         let mut short = action(1);
         short.ttl = Duration::from_millis(50);
         let t0 = ms(0);
-        ex.submit(short, t0, t0);
+        ex.submit(short, None, t0, t0);
         assert_eq!(ex.take_due(t0).len(), 1);
         ex.tick(ms(60));
         assert_eq!(ex.tally(), (0, 0, 1, 0));
         // A late ack for the expired action is dropped, and a fresh action's
         // ack still lands on the right transmission.
-        ex.submit(action(2), t0, ms(70));
+        ex.submit(action(2), None, t0, ms(70));
         assert_eq!(ex.take_due(ms(70)).len(), 1);
-        ex.on_ack(true, ms(80)); // stale ack for action 1
-        ex.on_ack(true, ms(90)); // would be action 2's ack
+        // The first ack consumes the expired action's stale inflight slot
+        // and settles the next sender (action 2).
+        let res = ex.on_ack(true, ms(80)).expect("ack settles action 2");
+        assert_eq!(res.id, 2);
+        assert_eq!(ex.on_ack(true, ms(90)), None, "no inflight sends remain");
         let (acked, ..) = ex.tally();
         assert_eq!(acked, 1);
         assert!(ex.outcomes().iter().any(|t| t.action.id == 2
@@ -266,11 +306,13 @@ mod tests {
     fn fifo_correlation_matches_acks_to_send_order() {
         let mut ex = ActionExecutor::default();
         let t0 = ms(0);
-        ex.submit(action(1), t0, t0);
-        ex.submit(action(2), t0, t0);
+        ex.submit(action(1), None, t0, t0);
+        ex.submit(action(2), None, t0, t0);
         assert_eq!(ex.take_due(t0).len(), 2);
         ex.on_ack(true, ms(10));
-        ex.on_ack(false, ms(20));
+        let failed = ex.on_ack(false, ms(20)).unwrap();
+        assert!(!failed.success);
+        assert_eq!(failed.detection_to_ack, None, "failed acks carry no latency");
         let states: Vec<_> = ex.outcomes().iter().map(|t| (t.action.id, t.state)).collect();
         assert!(matches!(states[0], (1, ActionState::Acked { success: true, .. })));
         assert!(matches!(states[1], (2, ActionState::Acked { success: false, .. })));

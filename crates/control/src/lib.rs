@@ -28,7 +28,7 @@ pub mod executor;
 pub mod policy;
 
 pub use action::{ControlAction, MitigationAction};
-pub use executor::{ActionExecutor, ActionState, ExecutorConfig, TrackedAction};
+pub use executor::{AckResolution, ActionExecutor, ActionState, ExecutorConfig, TrackedAction};
 pub use policy::{
     attack_from_title, default_rules, ActionTemplate, PolicyDecision, PolicyEngine, PolicyRule,
     SupervisionTicket, ThreatAssessment,

@@ -8,8 +8,10 @@
 use crate::mobiwatch::AnomalyAlert;
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::Instant;
 use xsec_llm::{cross_compare, CrossVerdict, LlmBackend, ParsedResponse, PromptTemplate};
 use xsec_mobiflow::{decode_ue_record, UeMobiFlow};
+use xsec_obs::{Histogram, Obs};
 use xsec_ric::{XApp, XAppContext};
 use xsec_types::Timestamp;
 
@@ -43,6 +45,7 @@ pub struct LlmAnalyzer {
     template: PromptTemplate,
     topic: String,
     state: Arc<Mutex<AnalyzerState>>,
+    turnaround: Histogram,
 }
 
 impl LlmAnalyzer {
@@ -55,9 +58,16 @@ impl LlmAnalyzer {
                 template: PromptTemplate::default(),
                 topic: topic.to_string(),
                 state: state.clone(),
+                turnaround: Obs::new().histogram("xsec_analyzer_turnaround_us", &[]),
             },
             state,
         )
+    }
+
+    /// Re-homes the turnaround histogram into `obs`'s registry. Call before
+    /// analysis starts — samples do not carry over.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.turnaround = obs.histogram("xsec_analyzer_turnaround_us", &[]);
     }
 
     /// The topic this analyzer listens on.
@@ -67,6 +77,7 @@ impl LlmAnalyzer {
 
     /// Analyzes one alert directly (also used by the Table 3 harness).
     pub fn analyze_alert(&mut self, alert: &AnomalyAlert) -> AnalyzerFinding {
+        let start = Instant::now();
         let records: Vec<UeMobiFlow> =
             alert.records.iter().filter_map(|l| decode_ue_record(l).ok()).collect();
         let prompt = self.template.render(&records);
@@ -76,6 +87,7 @@ impl LlmAnalyzer {
         };
         let parsed = ParsedResponse::parse(&response);
         let verdict = cross_compare(true, &parsed);
+        self.turnaround.observe_duration(start.elapsed());
         let finding = AnalyzerFinding {
             at_record: alert.at_record,
             score: alert.score,
@@ -188,11 +200,18 @@ mod tests {
             Box::new(SimulatedExpert::new(ModelPersonality::CHATGPT_4O)),
             "anomalies",
         );
+        let obs = Obs::new();
+        analyzer.attach_obs(&obs);
         let finding = analyzer.analyze_alert(&flood_alert());
         assert!(finding.parsed.anomalous);
         assert_eq!(finding.verdict, CrossVerdict::ConfirmedAnomalous);
         assert!(finding.response.contains("Signaling storm"));
         assert!(state.lock().human_review.is_empty());
+        assert_eq!(
+            obs.snapshot().histogram_count("xsec_analyzer_turnaround_us"),
+            1,
+            "turnaround must be sampled once per alert"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ use xsec_control::{
     SupervisionTicket, ThreatAssessment,
 };
 use xsec_mobiflow::{decode_ue_record, UeMobiFlow};
+use xsec_obs::Obs;
 use xsec_proto::MessageKind;
 use xsec_ric::{LatencyClass, XApp, XAppContext};
 use xsec_types::{
@@ -132,18 +133,27 @@ impl MitigatorState {
 /// The closed-loop mitigation xApp.
 pub struct Mitigator {
     state: Arc<Mutex<MitigatorState>>,
+    obs: Obs,
 }
 
 impl Mitigator {
-    /// Creates the mitigator; returns the shared state handle.
+    /// Creates the mitigator with a silent observability handle; returns the
+    /// shared state handle.
     pub fn new(policy: PolicyEngine) -> (Self, Arc<Mutex<MitigatorState>>) {
+        Self::with_obs(policy, Obs::new())
+    }
+
+    /// Creates the mitigator recording per-action-kind metrics
+    /// (`xsec_control_actions_*_total{kind=}` and
+    /// `xsec_control_detection_to_ack_us{kind=}`) into `obs`.
+    pub fn with_obs(policy: PolicyEngine, obs: Obs) -> (Self, Arc<Mutex<MitigatorState>>) {
         let state = Arc::new(Mutex::new(MitigatorState {
             executor: ActionExecutor::default(),
             policy,
             supervised: Vec::new(),
             clock: Timestamp::ZERO,
         }));
-        (Mitigator { state: state.clone() }, state)
+        (Mitigator { state: state.clone(), obs }, state)
     }
 
     fn handle_finding(&mut self, ctx: &mut XAppContext<'_>, notice: &FindingNotice) {
@@ -156,14 +166,28 @@ impl Mitigator {
         match state.policy.decide(&assessment) {
             PolicyDecision::Act(actions) => {
                 for action in actions {
-                    state.executor.submit(action, assessment.detected_at, now);
+                    self.obs
+                        .counter(
+                            "xsec_control_actions_issued_total",
+                            &[("kind", action.action.name())],
+                        )
+                        .inc();
+                    state.executor.submit(action, Some(assessment.cell), assessment.detected_at, now);
                 }
-                for payload in state.executor.take_due(now) {
-                    ctx.send_control(payload);
-                }
+                ship_due(&mut state, now, ctx);
             }
             PolicyDecision::Supervise(ticket) => state.supervised.push(ticket),
             PolicyDecision::StandDown => {}
+        }
+    }
+}
+
+/// Ships everything the executor deems due, each action pinned to its cell.
+fn ship_due(state: &mut MitigatorState, now: Timestamp, ctx: &mut XAppContext<'_>) {
+    for (cell, payload) in state.executor.take_due(now) {
+        match cell {
+            Some(cell) => ctx.send_control_to(cell, payload),
+            None => ctx.send_control(payload),
         }
     }
 }
@@ -254,9 +278,7 @@ impl XApp for Mitigator {
         state.clock = state.clock.max(window_end);
         let now = state.clock;
         state.executor.tick(now);
-        for payload in state.executor.take_due(now) {
-            ctx.send_control(payload);
-        }
+        ship_due(&mut state, now, ctx);
     }
 
     fn on_message(&mut self, ctx: &mut XAppContext<'_>, topic: &str, payload: &[u8]) {
@@ -271,7 +293,20 @@ impl XApp for Mitigator {
                 let Some(&flag) = payload.first() else { return };
                 let mut state = self.state.lock();
                 let now = state.clock;
-                state.executor.on_ack(flag != 0, now);
+                if let Some(res) = state.executor.on_ack(flag != 0, now) {
+                    let outcome = if res.success { "acked" } else { "failed" };
+                    self.obs
+                        .counter(
+                            &format!("xsec_control_actions_{outcome}_total"),
+                            &[("kind", res.kind)],
+                        )
+                        .inc();
+                    if let Some(latency) = res.detection_to_ack {
+                        self.obs
+                            .histogram("xsec_control_detection_to_ack_us", &[("kind", res.kind)])
+                            .observe(latency.as_micros());
+                    }
+                }
             }
             _ => {}
         }
@@ -384,13 +419,15 @@ mod tests {
             };
             mitigator.on_message(&mut ctx, FINDINGS_TOPIC, &serde_json::to_vec(&n).unwrap());
         }
-        // Rate-limit + two blacklists, all shipped immediately.
+        // Rate-limit + two blacklists, all shipped immediately and pinned to
+        // the finding's cell so the RIC routes them to the owning agent.
         assert_eq!(control.len(), 3);
-        for payload in &control {
-            ControlAction::decode(payload).unwrap();
+        for out in &control {
+            assert_eq!(out.cell, Some(CellId(1)));
+            ControlAction::decode(&out.payload).unwrap();
         }
         assert!(matches!(
-            ControlAction::decode(&control[0]).unwrap().action,
+            ControlAction::decode(&control[0].payload).unwrap().action,
             MitigationAction::RateLimitCause { .. }
         ));
 

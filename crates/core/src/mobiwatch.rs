@@ -9,9 +9,11 @@
 use crate::smo::DeployedModels;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::time::Instant;
 use parking_lot::Mutex;
 use xsec_dl::{Featurizer, Matrix, FEATURES_PER_RECORD};
 use xsec_mobiflow::{encode_ue_record, UeMobiFlow};
+use xsec_obs::{Counter, Histogram, Obs};
 use xsec_ric::{XApp, XAppContext};
 use xsec_types::Timestamp;
 
@@ -22,6 +24,35 @@ pub enum Detector {
     Autoencoder,
     /// Next-step prediction-error scoring.
     Lstm,
+}
+
+impl Detector {
+    /// The metric label value for this detector.
+    pub fn label(self) -> &'static str {
+        match self {
+            Detector::Autoencoder => "autoencoder",
+            Detector::Lstm => "lstm",
+        }
+    }
+}
+
+/// MobiWatch's per-stage instruments, labelled by the detector in force.
+#[derive(Debug, Clone)]
+struct WatchMetrics {
+    featurize_latency: Histogram,
+    inference_latency: Histogram,
+    alerts: Counter,
+}
+
+impl WatchMetrics {
+    fn register(obs: &Obs, detector: Detector) -> Self {
+        let labels = &[("detector", detector.label())];
+        WatchMetrics {
+            featurize_latency: obs.histogram("xsec_mobiwatch_featurize_latency_us", labels),
+            inference_latency: obs.histogram("xsec_mobiwatch_inference_latency_us", labels),
+            alerts: obs.counter("xsec_mobiwatch_alerts_total", labels),
+        }
+    }
 }
 
 /// MobiWatch configuration.
@@ -81,6 +112,7 @@ pub struct MobiWatch {
     records_seen: u64,
     last_publish_at: Option<u64>,
     state: Arc<Mutex<MobiWatchState>>,
+    metrics: WatchMetrics,
 }
 
 impl MobiWatch {
@@ -91,6 +123,7 @@ impl MobiWatch {
         config: MobiWatchConfig,
     ) -> (Self, Arc<Mutex<MobiWatchState>>) {
         let state = Arc::new(Mutex::new(MobiWatchState::default()));
+        let metrics = WatchMetrics::register(&Obs::new(), config.detector);
         (
             MobiWatch {
                 models,
@@ -100,9 +133,16 @@ impl MobiWatch {
                 records_seen: 0,
                 last_publish_at: None,
                 state: state.clone(),
+                metrics,
             },
             state,
         )
+    }
+
+    /// Re-homes the xApp's instruments into `obs`'s registry. Call before
+    /// feeding records (deployment time) — samples do not carry over.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.metrics = WatchMetrics::register(obs, self.config.detector);
     }
 
     /// The sliding-window length in force.
@@ -114,7 +154,9 @@ impl MobiWatch {
     /// anomalous (alert emission respects the publish cooldown; scoring
     /// happens for every window regardless).
     pub fn process_record(&mut self, record: &UeMobiFlow) -> Option<AnomalyAlert> {
+        let featurize_start = Instant::now();
         let features = self.featurizer.encode_record(record);
+        self.metrics.featurize_latency.observe_duration(featurize_start.elapsed());
         self.history.push((record.clone(), features));
         self.records_seen += 1;
         let n = self.window();
@@ -125,6 +167,7 @@ impl MobiWatch {
             self.history.drain(..self.history.len() - keep);
         }
 
+        let inference_start = Instant::now();
         let (score, threshold) = match self.config.detector {
             Detector::Autoencoder => {
                 if self.history.len() < n {
@@ -151,6 +194,8 @@ impl MobiWatch {
             }
         };
 
+        self.metrics.inference_latency.observe_duration(inference_start.elapsed());
+
         let flagged = threshold.is_anomalous(score);
         let record_index = self.records_seen - 1;
         self.state.lock().scores.push((record_index, score, flagged));
@@ -176,6 +221,7 @@ impl MobiWatch {
             records: self.history[start..].iter().map(|(r, _)| encode_ue_record(r)).collect(),
         };
         self.state.lock().alerts.push(alert.clone());
+        self.metrics.alerts.inc();
         Some(alert)
     }
 }
@@ -248,6 +294,8 @@ mod tests {
     fn bts_dos_raises_alerts() {
         let models = quick_models(12);
         let (mut watch, state) = MobiWatch::new(models, MobiWatchConfig::default());
+        let obs = Obs::new();
+        watch.attach_obs(&obs);
         let ds = DatasetBuilder::small(13, 10).attack(AttackKind::BtsDos);
         let stream = extract_from_events(&ds.report.events);
         let mut alerts = 0;
@@ -257,6 +305,13 @@ mod tests {
             }
         }
         assert!(alerts >= 1, "the flood must raise at least one alert");
+        let snap = obs.snapshot();
+        assert!(
+            snap.histogram_count("xsec_mobiwatch_inference_latency_us") > 0,
+            "inference latency must be sampled"
+        );
+        assert!(snap.histogram_count("xsec_mobiwatch_featurize_latency_us") > 0);
+        assert_eq!(snap.counter_total("xsec_mobiwatch_alerts_total"), alerts as u64);
         let state = state.lock();
         assert_eq!(state.alerts.len(), alerts);
         // Alerts carry decodable context records.

@@ -16,6 +16,7 @@ use xsec_dl::{Confusion, FeatureConfig, Featurizer};
 use xsec_e2::{in_proc_pair, InProcTransport, RicAgent, RicAgentConfig};
 use xsec_llm::{ModelPersonality, SimulatedExpert};
 use xsec_mobiflow::{extract_from_events, TelemetryStream};
+use xsec_obs::{Obs, Snapshot};
 use xsec_ran::sim::{RanSimulator, SimReport};
 use xsec_ric::{RicPlatform, SubscriptionSpec};
 use xsec_types::{AttackKind, CellId, Duration, GnbId, Timestamp};
@@ -92,6 +93,10 @@ pub struct PipelineOutcome {
     pub mean_handler_latency_us: f64,
     /// Closed-loop mitigation outcome (actions issued, acked, escalated).
     pub mitigation: MitigationSummary,
+    /// End-of-run metrics snapshot: per-stage latency histograms (E2
+    /// decode, MobiWatch featurize/inference, analyzer turnaround,
+    /// per-agent control-ack, detection→ack) and every stage counter.
+    pub metrics: Snapshot,
 }
 
 /// What one *live* closed-loop run produced: the pipeline outcome plus the
@@ -116,6 +121,9 @@ pub struct Pipeline {
 /// One assembled RIC deployment: agent ↔ platform with the MobiWatch,
 /// analyzer, and mitigator xApps registered and the E2 handshake done.
 struct Deployment {
+    /// The shared observability handle every stage records into. Fresh per
+    /// deployment, so each run's snapshot stands alone.
+    obs: Obs,
     agent: RicAgent<InProcTransport>,
     platform: RicPlatform,
     watch_state: std::sync::Arc<parking_lot::Mutex<crate::mobiwatch::MobiWatchState>>,
@@ -165,22 +173,27 @@ impl Pipeline {
     /// Assembles the agent/platform pair with all three xApps registered
     /// and runs the E2 setup + subscription handshake.
     fn deploy(&self) -> Deployment {
+        let obs = Obs::from_env();
         let (agent_end, ric_end) = in_proc_pair();
         let mut agent =
             RicAgent::new(RicAgentConfig { gnb_id: GnbId(1), cell: CellId(1) }, agent_end)
                 .expect("agent starts");
-        let mut platform = RicPlatform::new();
+        agent.attach_obs(&obs);
+        let mut platform = RicPlatform::with_obs(obs.clone());
         platform.add_agent(Box::new(ric_end));
 
-        let (watch, watch_state) = MobiWatch::new(
+        let (mut watch, watch_state) = MobiWatch::new(
             self.models.clone(),
             MobiWatchConfig { detector: self.config.detector, ..MobiWatchConfig::default() },
         );
-        let (analyzer, analyzer_state) = LlmAnalyzer::new(
+        watch.attach_obs(&obs);
+        let (mut analyzer, analyzer_state) = LlmAnalyzer::new(
             Box::new(SimulatedExpert::new(self.config.personality)),
             "anomalies",
         );
-        let (mitigator, mitigator_state) = Mitigator::new(PolicyEngine::default());
+        analyzer.attach_obs(&obs);
+        let (mitigator, mitigator_state) =
+            Mitigator::with_obs(PolicyEngine::default(), obs.clone());
         platform.register_xapp(
             Box::new(watch),
             SubscriptionSpec::telemetry(self.config.report_period_ms),
@@ -201,7 +214,7 @@ impl Pipeline {
             platform.pump().expect("pump");
             agent.poll(Timestamp::ZERO).expect("agent poll");
         }
-        Deployment { agent, platform, watch_state, analyzer_state, mitigator_state }
+        Deployment { obs, agent, platform, watch_state, analyzer_state, mitigator_state }
     }
 
     /// Replays a telemetry stream through agent → E2 → platform → xApps.
@@ -243,6 +256,9 @@ impl Pipeline {
     /// rest of the run produces.
     pub fn run_closed_loop(&self, mut sim: RanSimulator) -> ClosedLoopOutcome {
         let mut d = self.deploy();
+        // The RAN side records into the same registry, so the snapshot
+        // spans detection *and* enforcement.
+        sim.attach_obs(&d.obs);
 
         let period = Duration::from_millis(u64::from(self.config.report_period_ms));
         let horizon = Timestamp::ZERO + sim.config().horizon;
@@ -311,6 +327,7 @@ impl Pipeline {
             confusion,
             mean_handler_latency_us: d.platform.latency().mean_us(),
             mitigation: d.mitigator_state.lock().summary(),
+            metrics: d.obs.snapshot(),
         }
     }
 }
@@ -350,5 +367,21 @@ mod tests {
         let outcome = pipeline.run_attack(AttackKind::NullCipher);
         assert!(outcome.mean_handler_latency_us > 0.0);
         assert!(outcome.records > 100);
+        // The run's snapshot carries every stage's latency histogram.
+        for stage in [
+            "xsec_e2_decode_latency_us",
+            "xsec_mobiwatch_featurize_latency_us",
+            "xsec_mobiwatch_inference_latency_us",
+            "xsec_ric_handler_latency_us",
+        ] {
+            assert!(
+                outcome.metrics.histogram_count(stage) > 0,
+                "stage {stage} recorded no samples"
+            );
+        }
+        assert_eq!(
+            outcome.metrics.counter_total("xsec_e2_records_pushed_total"),
+            outcome.records as u64
+        );
     }
 }

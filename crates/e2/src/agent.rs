@@ -12,6 +12,7 @@ use crate::e2sm::{KpmIndication, RAN_FUNCTION_MOBIFLOW};
 use crate::transport::E2Transport;
 use std::collections::BTreeMap;
 use xsec_mobiflow::UeMobiFlow;
+use xsec_obs::{Counter, Obs};
 use xsec_types::{CellId, Duration, GnbId, Result, Timestamp, XsecError};
 
 /// Agent identity/configuration.
@@ -31,6 +32,24 @@ struct Subscription {
     sequence: u64,
 }
 
+/// Registry-backed agent counters (metric names `xsec_e2_*_total`).
+#[derive(Debug, Clone)]
+struct AgentMetrics {
+    records_pushed: Counter,
+    indications_sent: Counter,
+    controls_received: Counter,
+}
+
+impl AgentMetrics {
+    fn register(obs: &Obs) -> Self {
+        AgentMetrics {
+            records_pushed: obs.counter("xsec_e2_records_pushed_total", &[]),
+            indications_sent: obs.counter("xsec_e2_indications_sent_total", &[]),
+            controls_received: obs.counter("xsec_e2_controls_received_total", &[]),
+        }
+    }
+}
+
 /// The agent state machine over a transport.
 pub struct RicAgent<T: E2Transport> {
     config: RicAgentConfig,
@@ -39,14 +58,17 @@ pub struct RicAgent<T: E2Transport> {
     subscriptions: BTreeMap<RicRequestId, Subscription>,
     log: Vec<UeMobiFlow>,
     control_inbox: Vec<Vec<u8>>,
+    metrics: AgentMetrics,
 }
 
 impl<T: E2Transport> RicAgent<T> {
-    /// Creates the agent and immediately sends the E2 Setup Request.
+    /// Creates the agent and immediately sends the E2 Setup Request, which
+    /// announces both the supported RAN functions and the served cell.
     pub fn new(config: RicAgentConfig, mut transport: T) -> Result<Self> {
         let setup = E2apPdu::SetupRequest {
             gnb_id: config.gnb_id,
             ran_functions: vec![RAN_FUNCTION_MOBIFLOW],
+            cells: vec![config.cell],
         };
         transport.send(&setup.encode())?;
         Ok(RicAgent {
@@ -56,7 +78,18 @@ impl<T: E2Transport> RicAgent<T> {
             subscriptions: BTreeMap::new(),
             log: Vec::new(),
             control_inbox: Vec::new(),
+            metrics: AgentMetrics::register(&Obs::new()),
         })
+    }
+
+    /// Re-homes the agent's counters into `obs` (accumulated counts are
+    /// carried over).
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        let metrics = AgentMetrics::register(obs);
+        metrics.records_pushed.add(self.metrics.records_pushed.get());
+        metrics.indications_sent.add(self.metrics.indications_sent.get());
+        metrics.controls_received.add(self.metrics.controls_received.get());
+        self.metrics = metrics;
     }
 
     /// Whether the RIC accepted our function.
@@ -78,6 +111,7 @@ impl<T: E2Transport> RicAgent<T> {
 
     /// The CU instrumentation hook: one record per observed message.
     pub fn push_record(&mut self, record: UeMobiFlow) {
+        self.metrics.records_pushed.inc();
         self.log.push(record);
     }
 
@@ -131,6 +165,7 @@ impl<T: E2Transport> RicAgent<T> {
             E2apPdu::ControlRequest { ran_function, payload } => {
                 let success = ran_function == RAN_FUNCTION_MOBIFLOW;
                 if success {
+                    self.metrics.controls_received.inc();
                     self.control_inbox.push(payload);
                 }
                 self.transport.send(&E2apPdu::ControlAck { ran_function, success }.encode())
@@ -170,6 +205,7 @@ impl<T: E2Transport> RicAgent<T> {
             }
         }
         for frame in outgoing {
+            self.metrics.indications_sent.inc();
             self.transport.send(&frame)?;
         }
         Ok(())

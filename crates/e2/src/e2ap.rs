@@ -6,7 +6,7 @@
 //! framing from `xsec-proto`.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use xsec_types::{GnbId, Result, XsecError};
+use xsec_types::{CellId, GnbId, Result, XsecError};
 
 fn err(msg: impl Into<String>) -> XsecError {
     XsecError::Codec(msg.into())
@@ -54,12 +54,16 @@ impl RicAction {
 /// An E2AP message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum E2apPdu {
-    /// RAN → RIC: announce supported RAN functions.
+    /// RAN → RIC: announce supported RAN functions and served cells.
     SetupRequest {
         /// The announcing gNB.
         gnb_id: GnbId,
         /// Supported RAN function ids (service models).
         ran_functions: Vec<u32>,
+        /// Cells this gNB serves (E2AP carries the served-cell list in the
+        /// setup; the RIC uses it to route control actions to the owning
+        /// agent).
+        cells: Vec<CellId>,
     },
     /// RIC → RAN: which functions were accepted.
     SetupResponse {
@@ -121,10 +125,12 @@ impl E2apPdu {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = BytesMut::with_capacity(32);
         match self {
-            E2apPdu::SetupRequest { gnb_id, ran_functions } => {
+            E2apPdu::SetupRequest { gnb_id, ran_functions, cells } => {
                 buf.put_u8(0);
                 buf.put_u32(gnb_id.0);
                 put_u32_list(&mut buf, ran_functions);
+                let cell_ids: Vec<u32> = cells.iter().map(|c| c.0).collect();
+                put_u32_list(&mut buf, &cell_ids);
             }
             E2apPdu::SetupResponse { accepted } => {
                 buf.put_u8(1);
@@ -183,7 +189,9 @@ impl E2apPdu {
             0 => {
                 need(&buf, 4, "gnb id")?;
                 let gnb_id = GnbId(buf.get_u32());
-                E2apPdu::SetupRequest { gnb_id, ran_functions: get_u32_list(&mut buf)? }
+                let ran_functions = get_u32_list(&mut buf)?;
+                let cells = get_u32_list(&mut buf)?.into_iter().map(CellId).collect();
+                E2apPdu::SetupRequest { gnb_id, ran_functions, cells }
             }
             1 => E2apPdu::SetupResponse { accepted: get_u32_list(&mut buf)? },
             2 => {
@@ -283,7 +291,11 @@ mod tests {
     fn samples() -> Vec<E2apPdu> {
         let rid = RicRequestId { requestor: 10, instance: 1 };
         vec![
-            E2apPdu::SetupRequest { gnb_id: GnbId(7), ran_functions: vec![1, 142] },
+            E2apPdu::SetupRequest {
+                gnb_id: GnbId(7),
+                ran_functions: vec![1, 142],
+                cells: vec![CellId(1), CellId(2)],
+            },
             E2apPdu::SetupResponse { accepted: vec![142] },
             E2apPdu::SubscriptionRequest {
                 request_id: rid,

@@ -13,6 +13,7 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use xsec_obs::{Counter, Obs};
 use xsec_types::Duration;
 
 /// Parameters of the impairment model.
@@ -114,7 +115,9 @@ impl ChannelOutcome {
     }
 }
 
-/// Running counters, exposed for experiment reports.
+/// Point-in-time counter snapshot, exposed for experiment reports. The
+/// counters themselves live in the `xsec-obs` registry (metric names
+/// `xsec_netsim_channel_*_total`); this struct is a read-out.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelStats {
     /// Messages offered to the channel.
@@ -127,12 +130,32 @@ pub struct ChannelStats {
     pub lost: u64,
 }
 
+/// Registry-backed channel counters (the single observability path).
+#[derive(Debug, Clone)]
+struct ChannelMetrics {
+    offered: Counter,
+    delivered: Counter,
+    retransmitted: Counter,
+    lost: Counter,
+}
+
+impl ChannelMetrics {
+    fn register(obs: &Obs) -> Self {
+        ChannelMetrics {
+            offered: obs.counter("xsec_netsim_channel_offered_total", &[]),
+            delivered: obs.counter("xsec_netsim_channel_delivered_total", &[]),
+            retransmitted: obs.counter("xsec_netsim_channel_retransmitted_total", &[]),
+            lost: obs.counter("xsec_netsim_channel_lost_total", &[]),
+        }
+    }
+}
+
 /// The stateful impairment model; owns its RNG stream.
 #[derive(Debug)]
 pub struct ChannelModel {
     config: ChannelConfig,
     rng: StdRng,
-    stats: ChannelStats,
+    metrics: ChannelMetrics,
 }
 
 impl ChannelModel {
@@ -145,7 +168,20 @@ impl ChannelModel {
         if let Err(msg) = config.validate() {
             panic!("invalid channel config: {msg}");
         }
-        ChannelModel { config, rng, stats: ChannelStats::default() }
+        ChannelModel { config, rng, metrics: ChannelMetrics::register(&Obs::new()) }
+    }
+
+    /// Re-homes the channel's counters into `obs` (accumulated counts are
+    /// carried over), so a simulation attached to a pipeline's registry
+    /// reports through it.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        let stats = self.stats();
+        let metrics = ChannelMetrics::register(obs);
+        metrics.offered.add(stats.offered);
+        metrics.delivered.add(stats.delivered);
+        metrics.retransmitted.add(stats.retransmitted);
+        metrics.lost.add(stats.lost);
+        self.metrics = metrics;
     }
 
     /// The active configuration.
@@ -155,12 +191,17 @@ impl ChannelModel {
 
     /// Counters accumulated so far.
     pub fn stats(&self) -> ChannelStats {
-        self.stats
+        ChannelStats {
+            offered: self.metrics.offered.get(),
+            delivered: self.metrics.delivered.get(),
+            retransmitted: self.metrics.retransmitted.get(),
+            lost: self.metrics.lost.get(),
+        }
     }
 
     /// Draws the fate of one transmission.
     pub fn transmit(&mut self) -> ChannelOutcome {
-        self.stats.offered += 1;
+        self.metrics.offered.inc();
         let jitter = if self.config.jitter == Duration::ZERO {
             Duration::ZERO
         } else {
@@ -173,19 +214,19 @@ impl ChannelModel {
             for attempt in 1..=self.config.max_retx {
                 let succeeded = !self.rng.gen_bool(self.config.retx_attempt_loss);
                 if succeeded {
-                    self.stats.delivered += 1;
-                    self.stats.retransmitted += 1;
+                    self.metrics.delivered.inc();
+                    self.metrics.retransmitted.inc();
                     return ChannelOutcome::Delivered {
                         latency: base + self.config.retx_interval.saturating_mul(attempt as u64),
                         retransmissions: attempt,
                     };
                 }
             }
-            self.stats.lost += 1;
+            self.metrics.lost.inc();
             return ChannelOutcome::Lost;
         }
 
-        self.stats.delivered += 1;
+        self.metrics.delivered.inc();
         ChannelOutcome::Delivered { latency: base, retransmissions: 0 }
     }
 }

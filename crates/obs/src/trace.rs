@@ -1,0 +1,351 @@
+//! The span/event tracing facade.
+//!
+//! A [`Tracer`] is a cheap-clone handle over: a level filter (one atomic
+//! read on the hot path), a bounded ring buffer of recent events (always
+//! on, for post-run inspection), and an optional pluggable [`EventSink`]
+//! (stderr for CLI binaries, anything else for tests). Spans are RAII
+//! guards that emit a close event with their elapsed time and can feed a
+//! latency [`Histogram`](crate::Histogram) directly.
+//!
+//! The `XSEC_LOG` environment variable (`off`, `error`, `warn`, `info`,
+//! `debug`, `trace`) picks the level for sinks installed via
+//! [`Tracer::stderr`] / [`crate::Obs::for_cli`].
+
+use crate::metrics::Histogram;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Event severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The pipeline cannot proceed correctly.
+    Error = 1,
+    /// Something degraded but handled.
+    Warn = 2,
+    /// Progress and lifecycle messages (the default).
+    Info = 3,
+    /// Per-stage details, span closures.
+    Debug = 4,
+    /// Per-record noise.
+    Trace = 5,
+}
+
+impl Level {
+    /// Short uppercase tag for rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    /// Parses an `XSEC_LOG`-style level name. `None` for unknown names and
+    /// for `off`.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            1 => Level::Error,
+            2 => Level::Warn,
+            3 => Level::Info,
+            4 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Severity.
+    pub level: Level,
+    /// Component that emitted it (crate or binary name by convention).
+    pub target: String,
+    /// Rendered message.
+    pub message: String,
+    /// For span-close events: the span's wall-clock duration in µs.
+    pub elapsed_us: Option<u64>,
+}
+
+/// Where emitted events go besides the ring buffer.
+pub trait EventSink: Send {
+    /// Delivers one event that passed the level filter.
+    fn emit(&mut self, record: &EventRecord);
+}
+
+/// Renders events to stderr as `[LEVEL target] message`.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl EventSink for StderrSink {
+    fn emit(&mut self, record: &EventRecord) {
+        match record.elapsed_us {
+            Some(us) => eprintln!(
+                "[{:5} {}] {} ({:.1} ms)",
+                record.level.as_str(),
+                record.target,
+                record.message,
+                us as f64 / 1000.0
+            ),
+            None => {
+                eprintln!("[{:5} {}] {}", record.level.as_str(), record.target, record.message)
+            }
+        }
+    }
+}
+
+/// A sink that appends into a shared vector — for tests.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink(pub Arc<Mutex<Vec<EventRecord>>>);
+
+impl EventSink for VecSink {
+    fn emit(&mut self, record: &EventRecord) {
+        self.0.lock().expect("vec sink poisoned").push(record.clone());
+    }
+}
+
+struct TracerInner {
+    max_level: AtomicU8,
+    capacity: usize,
+    ring: Mutex<VecDeque<EventRecord>>,
+    sink: Mutex<Option<Box<dyn EventSink>>>,
+}
+
+/// The event/span recorder handle. Clones share state.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(Level::Info)
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tracer(max_level={})", self.max_level().as_str())
+    }
+}
+
+const RING_CAPACITY: usize = 1024;
+
+impl Tracer {
+    /// A sink-less tracer recording into the ring at `max_level`.
+    pub fn new(max_level: Level) -> Self {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                max_level: AtomicU8::new(max_level as u8),
+                capacity: RING_CAPACITY,
+                ring: Mutex::new(VecDeque::new()),
+                sink: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// A tracer with a [`StderrSink`], filtered at the level named by
+    /// `XSEC_LOG` (default `info`; `XSEC_LOG=off` silences the sink but
+    /// keeps the ring at `info`).
+    pub fn stderr() -> Self {
+        let var = std::env::var("XSEC_LOG").unwrap_or_default();
+        let tracer = Tracer::new(Level::parse(&var).unwrap_or(Level::Info));
+        if !var.trim().eq_ignore_ascii_case("off") {
+            tracer.set_sink(Box::new(StderrSink));
+        }
+        tracer
+    }
+
+    /// The active level filter.
+    pub fn max_level(&self) -> Level {
+        Level::from_u8(self.inner.max_level.load(Ordering::Relaxed))
+    }
+
+    /// Changes the level filter.
+    pub fn set_max_level(&self, level: Level) {
+        self.inner.max_level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// Installs (or replaces) the sink.
+    pub fn set_sink(&self, sink: Box<dyn EventSink>) {
+        *self.inner.sink.lock().expect("tracer sink poisoned") = Some(sink);
+    }
+
+    /// Whether an event at `level` would be recorded — check before
+    /// formatting an expensive message (the macros do).
+    pub fn enabled(&self, level: Level) -> bool {
+        level <= self.max_level()
+    }
+
+    /// Records one event (after the filter; the macros pre-check).
+    pub fn emit(&self, level: Level, target: &str, message: String) {
+        self.emit_record(EventRecord {
+            level,
+            target: target.to_string(),
+            message,
+            elapsed_us: None,
+        });
+    }
+
+    fn emit_record(&self, record: EventRecord) {
+        if !self.enabled(record.level) {
+            return;
+        }
+        {
+            let mut ring = self.inner.ring.lock().expect("tracer ring poisoned");
+            if ring.len() == self.inner.capacity {
+                ring.pop_front();
+            }
+            ring.push_back(record.clone());
+        }
+        if let Some(sink) = self.inner.sink.lock().expect("tracer sink poisoned").as_mut() {
+            sink.emit(&record);
+        }
+    }
+
+    /// Opens a span; the returned guard emits a Debug-level close event
+    /// with the elapsed time when dropped.
+    pub fn span(&self, target: &str, name: &str) -> SpanGuard {
+        SpanGuard {
+            tracer: self.clone(),
+            target: target.to_string(),
+            name: name.to_string(),
+            started: Instant::now(),
+            histogram: None,
+        }
+    }
+
+    /// Recent events, oldest first (bounded ring).
+    pub fn recent(&self) -> Vec<EventRecord> {
+        self.inner.ring.lock().expect("tracer ring poisoned").iter().cloned().collect()
+    }
+}
+
+/// RAII span: measures from creation to drop.
+pub struct SpanGuard {
+    tracer: Tracer,
+    target: String,
+    name: String,
+    started: Instant,
+    histogram: Option<Histogram>,
+}
+
+impl SpanGuard {
+    /// Also records the span's duration into `histogram` on drop —
+    /// the one-liner that ties a pipeline stage to its latency metric.
+    pub fn with_histogram(mut self, histogram: Histogram) -> Self {
+        self.histogram = Some(histogram);
+        self
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.started.elapsed();
+        if let Some(h) = &self.histogram {
+            h.observe_duration(elapsed);
+        }
+        if self.tracer.enabled(Level::Debug) {
+            self.tracer.emit_record(EventRecord {
+                level: Level::Debug,
+                target: std::mem::take(&mut self.target),
+                message: std::mem::take(&mut self.name),
+                elapsed_us: Some(elapsed.as_micros() as u64),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_filtering_and_ring() {
+        let tracer = Tracer::new(Level::Info);
+        assert!(tracer.enabled(Level::Error));
+        assert!(!tracer.enabled(Level::Debug));
+        tracer.emit(Level::Info, "test", "kept".into());
+        tracer.emit(Level::Debug, "test", "dropped".into());
+        let recent = tracer.recent();
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].message, "kept");
+    }
+
+    #[test]
+    fn sink_receives_filtered_events() {
+        let sink = VecSink::default();
+        let seen = sink.0.clone();
+        let tracer = Tracer::new(Level::Warn);
+        tracer.set_sink(Box::new(sink));
+        tracer.emit(Level::Error, "t", "a".into());
+        tracer.emit(Level::Info, "t", "b".into());
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].level, Level::Error);
+    }
+
+    #[test]
+    fn span_records_into_histogram_and_ring() {
+        let tracer = Tracer::new(Level::Debug);
+        let h = crate::MetricsRegistry::new().histogram("span_us", &[]);
+        {
+            let _guard = tracer.span("test", "stage").with_histogram(h.clone());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 1_000, "span shorter than the sleep: {}", h.max());
+        let recent = tracer.recent();
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].message, "stage");
+        assert!(recent[0].elapsed_us.is_some());
+    }
+
+    #[test]
+    fn span_histogram_still_records_when_filtered() {
+        // The metric must not depend on the log level.
+        let tracer = Tracer::new(Level::Error);
+        let h = crate::MetricsRegistry::new().histogram("span_us", &[]);
+        drop(tracer.span("test", "stage").with_histogram(h.clone()));
+        assert_eq!(h.count(), 1);
+        assert!(tracer.recent().is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let tracer = Tracer::new(Level::Info);
+        for i in 0..(RING_CAPACITY + 10) {
+            tracer.emit(Level::Info, "t", format!("{i}"));
+        }
+        let recent = tracer.recent();
+        assert_eq!(recent.len(), RING_CAPACITY);
+        assert_eq!(recent[0].message, "10");
+    }
+
+    #[test]
+    fn level_parse() {
+        assert_eq!(Level::parse("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::parse(" warn "), Some(Level::Warn));
+        assert_eq!(Level::parse("off"), None);
+        assert_eq!(Level::parse("nonsense"), None);
+    }
+}

@@ -15,6 +15,7 @@
 use crate::amf::AmfAction;
 use std::collections::{HashMap, VecDeque};
 use xsec_control::{ControlAction, MitigationAction};
+use xsec_obs::{Counter, Obs};
 use xsec_proto::{L3Message, NasMessage, RrcMessage};
 use xsec_types::{
     CellId, CipherAlg, Duration, EstablishmentCause, IntegrityAlg, ReleaseCause, Rnti, Timestamp,
@@ -114,7 +115,9 @@ struct RateLimit {
     recent: VecDeque<Timestamp>,
 }
 
-/// Counters for reports and the DoS experiments.
+/// Point-in-time counter snapshot for reports and the DoS experiments. The
+/// counters themselves live in the `xsec-obs` registry (metric names
+/// `xsec_ran_gnb_*_total`); this struct is a read-out.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GnbStats {
     /// Connections admitted.
@@ -134,6 +137,32 @@ pub struct GnbStats {
     pub forced_reauth: u64,
 }
 
+/// Registry-backed gNB counters (the single observability path).
+#[derive(Debug, Clone)]
+struct GnbMetrics {
+    admitted: Counter,
+    rejected: Counter,
+    guard_expired: Counter,
+    released: Counter,
+    mitigation_dropped: Counter,
+    blacklist_dropped: Counter,
+    forced_reauth: Counter,
+}
+
+impl GnbMetrics {
+    fn register(obs: &Obs) -> Self {
+        GnbMetrics {
+            admitted: obs.counter("xsec_ran_gnb_admitted_total", &[]),
+            rejected: obs.counter("xsec_ran_gnb_rejected_total", &[]),
+            guard_expired: obs.counter("xsec_ran_gnb_guard_expired_total", &[]),
+            released: obs.counter("xsec_ran_gnb_released_total", &[]),
+            mitigation_dropped: obs.counter("xsec_ran_gnb_mitigation_dropped_total", &[]),
+            blacklist_dropped: obs.counter("xsec_ran_gnb_blacklist_dropped_total", &[]),
+            forced_reauth: obs.counter("xsec_ran_gnb_forced_reauth_total", &[]),
+        }
+    }
+}
+
 /// The gNB state machine (DU + CU).
 #[derive(Debug)]
 pub struct Gnb {
@@ -141,7 +170,7 @@ pub struct Gnb {
     contexts: HashMap<u32, UeContext>,
     rnti_cursor: u16,
     next_conn: u32,
-    stats: GnbStats,
+    metrics: GnbMetrics,
     /// RIC-blacklisted C-RNTIs → enforcement deadline.
     blacklist: HashMap<u16, Timestamp>,
     /// RIC-installed per-cause admission caps.
@@ -159,7 +188,7 @@ impl Gnb {
             contexts: HashMap::new(),
             rnti_cursor,
             next_conn: 1,
-            stats: GnbStats::default(),
+            metrics: GnbMetrics::register(&Obs::new()),
             blacklist: HashMap::new(),
             rate_limits: HashMap::new(),
             quarantine_until: None,
@@ -171,9 +200,33 @@ impl Gnb {
         &self.config
     }
 
+    /// Re-homes the gNB's counters into `obs` (accumulated counts are
+    /// carried over), so a simulation attached to a pipeline's registry
+    /// reports through it.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        let stats = self.stats();
+        let metrics = GnbMetrics::register(obs);
+        metrics.admitted.add(stats.admitted);
+        metrics.rejected.add(stats.rejected);
+        metrics.guard_expired.add(stats.guard_expired);
+        metrics.released.add(stats.released);
+        metrics.mitigation_dropped.add(stats.mitigation_dropped);
+        metrics.blacklist_dropped.add(stats.blacklist_dropped);
+        metrics.forced_reauth.add(stats.forced_reauth);
+        self.metrics = metrics;
+    }
+
     /// Counters accumulated so far.
     pub fn stats(&self) -> GnbStats {
-        self.stats
+        GnbStats {
+            admitted: self.metrics.admitted.get(),
+            rejected: self.metrics.rejected.get(),
+            guard_expired: self.metrics.guard_expired.get(),
+            released: self.metrics.released.get(),
+            mitigation_dropped: self.metrics.mitigation_dropped.get(),
+            blacklist_dropped: self.metrics.blacklist_dropped.get(),
+            forced_reauth: self.metrics.forced_reauth.get(),
+        }
     }
 
     /// Live context count.
@@ -214,7 +267,7 @@ impl Gnb {
     /// Admission control + RNTI allocation for a new `RRCSetupRequest`.
     pub fn admit(&mut self, now: Timestamp, cause: EstablishmentCause) -> Result<u32, AdmitError> {
         if self.quarantine_until.is_some_and(|until| now < until) {
-            self.stats.mitigation_dropped += 1;
+            self.metrics.mitigation_dropped.inc();
             return Err(AdmitError::Quarantined);
         }
         if let Some(limit) = self.rate_limits.get_mut(&cause) {
@@ -227,18 +280,18 @@ impl Gnb {
                     limit.recent.pop_front();
                 }
                 if limit.recent.len() >= limit.max_setups as usize {
-                    self.stats.mitigation_dropped += 1;
+                    self.metrics.mitigation_dropped.inc();
                     return Err(AdmitError::RateLimited);
                 }
                 limit.recent.push_back(now);
             }
         }
         if self.contexts.len() >= self.config.max_contexts {
-            self.stats.rejected += 1;
+            self.metrics.rejected.inc();
             return Err(AdmitError::Congestion);
         }
         let Some(rnti) = self.alloc_rnti(now) else {
-            self.stats.rejected += 1;
+            self.metrics.rejected.inc();
             return Err(AdmitError::RntiExhausted);
         };
         let conn = self.next_conn;
@@ -256,7 +309,7 @@ impl Gnb {
                 as_secured: false,
             },
         );
-        self.stats.admitted += 1;
+        self.metrics.admitted.inc();
         Ok(conn)
     }
 
@@ -361,7 +414,7 @@ impl Gnb {
         if self.contexts.remove(&conn).is_none() {
             return Vec::new();
         }
-        self.stats.released += 1;
+        self.metrics.released.inc();
         vec![
             GnbAction::Downlink { conn, msg: L3Message::Rrc(RrcMessage::Release { cause }) },
             GnbAction::ContextFreed { conn },
@@ -383,9 +436,9 @@ impl Gnb {
         stale.sort_unstable();
         let mut actions = Vec::new();
         for conn in stale {
-            self.stats.guard_expired += 1;
+            self.metrics.guard_expired.inc();
             self.contexts.remove(&conn);
-            self.stats.released += 1;
+            self.metrics.released.inc();
             actions.push(GnbAction::Downlink {
                 conn,
                 msg: L3Message::Rrc(RrcMessage::Release { cause: ReleaseCause::RadioLinkFailure }),
@@ -403,7 +456,7 @@ impl Gnb {
             return false;
         };
         if self.is_blacklisted(ctx.rnti, now) {
-            self.stats.blacklist_dropped += 1;
+            self.metrics.blacklist_dropped.inc();
             true
         } else {
             false
@@ -427,7 +480,7 @@ impl Gnb {
                 // full authentication ladder on its next attach.
                 let actions = self.release(*conn, ReleaseCause::NetworkAbort);
                 if !actions.is_empty() {
-                    self.stats.forced_reauth += 1;
+                    self.metrics.forced_reauth.inc();
                 }
                 actions
             }

@@ -188,6 +188,15 @@ impl RanSimulator {
         }
     }
 
+    /// Re-homes the simulator's counters (gNB admission/enforcement, channel
+    /// impairments) into `obs`, so a pipeline run collects RAN-side metrics
+    /// in the same registry as the detection stages. Accumulated counts are
+    /// carried over.
+    pub fn attach_obs(&mut self, obs: &xsec_obs::Obs) {
+        self.gnb.attach_obs(obs);
+        self.channel.attach_obs(obs);
+    }
+
     /// Provisions a subscriber in the core.
     pub fn add_subscriber(&mut self, record: SubscriberRecord) {
         self.amf.provision(record);

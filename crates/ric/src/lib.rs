@@ -29,6 +29,6 @@ pub mod xapp;
 pub use latency::{LatencyClass, LatencyTracker};
 pub use platform::{PumpStats, RicPlatform, SubscriptionSpec};
 pub use router::Router;
-pub use xapp::{XApp, XAppContext};
+pub use xapp::{ControlOut, XApp, XAppContext};
 
 pub use xsec_mobiflow::SharedDataLayer;

@@ -8,13 +8,14 @@
 
 use crate::latency::LatencyTracker;
 use crate::router::Router;
-use crate::xapp::{XApp, XAppContext};
+use crate::xapp::{ControlOut, XApp, XAppContext};
 use crossbeam_channel::Receiver;
 use std::collections::VecDeque;
 use std::time::Instant;
 use xsec_e2::{E2apPdu, E2Transport, KpmIndication, RicRequestId, RAN_FUNCTION_MOBIFLOW};
 use xsec_mobiflow::SharedDataLayer;
-use xsec_types::{Result, XsecError};
+use xsec_obs::{Counter, Histogram, Obs};
+use xsec_types::{CellId, GnbId, Result, XsecError};
 
 /// What an xApp wants delivered.
 #[derive(Debug, Clone)]
@@ -54,14 +55,29 @@ struct XAppEntry {
     subscription_sent: bool,
     spec: SubscriptionSpec,
     mailboxes: Vec<(String, Receiver<Vec<u8>>)>,
+    /// Handler latency, labelled `xapp="<name>"`.
+    handler_latency: Histogram,
 }
 
 struct AgentConn {
     transport: Box<dyn E2Transport>,
     setup_done: bool,
+    /// The gNB behind this connection, learned from its E2 Setup Request.
+    gnb_id: Option<GnbId>,
+    /// Cells this agent serves (announced in E2 Setup); control actions
+    /// pinned to one of these cells route here.
+    cells: Vec<CellId>,
+    /// Send instants of Control Requests still awaiting their ack on this
+    /// connection. E2AP Control Acks carry no correlation id, but each
+    /// transport is an ordered queue and the agent acks every request on
+    /// receipt, so the oldest in-flight send owns the next ack.
+    inflight_controls: VecDeque<Instant>,
+    /// Send→ack latency, labelled `agent="gnb-<id>"` (set at setup).
+    ack_latency: Option<Histogram>,
 }
 
-/// Counters from one pump iteration.
+/// Counters from one pump iteration (a per-call delta). Cumulative totals
+/// live in the `xsec-obs` registry under `xsec_ric_*`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PumpStats {
     /// E2 PDUs processed.
@@ -74,6 +90,38 @@ pub struct PumpStats {
     pub controls_sent: u64,
 }
 
+/// Registry-backed platform counters (the single observability path for
+/// cumulative totals).
+struct PlatformMetrics {
+    pdus: Counter,
+    indications: Counter,
+    records_delivered: Counter,
+    messages_delivered: Counter,
+    controls_sent: Counter,
+    controls_acked: Counter,
+    controls_failed: Counter,
+    /// Actions pinned to a cell no connected agent serves (shipped to the
+    /// first agent as a fallback).
+    controls_unroutable: Counter,
+    decode_latency: Histogram,
+}
+
+impl PlatformMetrics {
+    fn register(obs: &Obs) -> Self {
+        PlatformMetrics {
+            pdus: obs.counter("xsec_ric_pdus_total", &[]),
+            indications: obs.counter("xsec_ric_indications_total", &[]),
+            records_delivered: obs.counter("xsec_ric_records_delivered_total", &[]),
+            messages_delivered: obs.counter("xsec_ric_messages_delivered_total", &[]),
+            controls_sent: obs.counter("xsec_ric_controls_sent_total", &[]),
+            controls_acked: obs.counter("xsec_ric_controls_acked_total", &[]),
+            controls_failed: obs.counter("xsec_ric_controls_failed_total", &[]),
+            controls_unroutable: obs.counter("xsec_ric_controls_unroutable_total", &[]),
+            decode_latency: obs.histogram("xsec_e2_decode_latency_us", &[]),
+        }
+    }
+}
+
 /// The near-real-time RIC.
 pub struct RicPlatform {
     sdl: SharedDataLayer,
@@ -82,16 +130,10 @@ pub struct RicPlatform {
     xapps: Vec<XAppEntry>,
     next_requestor: u16,
     latency: LatencyTracker,
-    control_queue: Vec<Vec<u8>>,
-    indications_seen: u64,
-    /// Send instants of Control Requests still awaiting their ack. E2AP
-    /// Control Acks carry no correlation id, but the transport is an ordered
-    /// queue and the agent acks every request on receipt, so the oldest
-    /// in-flight send owns the next ack.
-    inflight_controls: VecDeque<Instant>,
+    control_queue: Vec<ControlOut>,
     control_latency: LatencyTracker,
-    controls_acked: u64,
-    controls_failed: u64,
+    obs: Obs,
+    metrics: PlatformMetrics,
 }
 
 impl Default for RicPlatform {
@@ -101,8 +143,14 @@ impl Default for RicPlatform {
 }
 
 impl RicPlatform {
-    /// An empty platform.
+    /// An empty platform with a private (silent) observability handle.
     pub fn new() -> Self {
+        Self::with_obs(Obs::new())
+    }
+
+    /// An empty platform recording into `obs`.
+    pub fn with_obs(obs: Obs) -> Self {
+        let metrics = PlatformMetrics::register(&obs);
         RicPlatform {
             sdl: SharedDataLayer::new(),
             router: Router::new(),
@@ -111,12 +159,15 @@ impl RicPlatform {
             next_requestor: 1,
             latency: LatencyTracker::new(),
             control_queue: Vec::new(),
-            indications_seen: 0,
-            inflight_controls: VecDeque::new(),
             control_latency: LatencyTracker::new(),
-            controls_acked: 0,
-            controls_failed: 0,
+            obs,
+            metrics,
         }
+    }
+
+    /// The platform's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The platform's SDL handle.
@@ -136,7 +187,7 @@ impl RicPlatform {
 
     /// Indications received so far.
     pub fn indications_seen(&self) -> u64 {
-        self.indications_seen
+        self.metrics.indications.get()
     }
 
     /// Wall-clock send→ack latency statistics for Control Requests.
@@ -146,17 +197,29 @@ impl RicPlatform {
 
     /// Control Requests acknowledged as accepted.
     pub fn controls_acked(&self) -> u64 {
-        self.controls_acked
+        self.metrics.controls_acked.get()
     }
 
     /// Control Requests acknowledged as refused by the agent.
     pub fn controls_failed(&self) -> u64 {
-        self.controls_failed
+        self.metrics.controls_failed.get()
+    }
+
+    /// Control actions pinned to a cell no connected agent serves.
+    pub fn controls_unroutable(&self) -> u64 {
+        self.metrics.controls_unroutable.get()
     }
 
     /// Attaches a RAN agent connection (the RIC end of an E2 transport).
     pub fn add_agent(&mut self, transport: Box<dyn E2Transport>) {
-        self.conns.push(AgentConn { transport, setup_done: false });
+        self.conns.push(AgentConn {
+            transport,
+            setup_done: false,
+            gnb_id: None,
+            cells: Vec::new(),
+            inflight_controls: VecDeque::new(),
+            ack_latency: None,
+        });
     }
 
     /// Registers an xApp. Its E2 subscription is negotiated on the next pump
@@ -172,6 +235,8 @@ impl RicPlatform {
             self.next_requestor += 1;
             id
         });
+        let handler_latency =
+            self.obs.histogram("xsec_ric_handler_latency_us", &[("xapp", app.name())]);
         let mut control_out = Vec::new();
         let mut ctx = XAppContext {
             sdl: &self.sdl,
@@ -186,6 +251,7 @@ impl RicPlatform {
             subscription_sent: false,
             spec,
             mailboxes,
+            handler_latency,
         });
     }
 
@@ -202,7 +268,10 @@ impl RicPlatform {
                     Err(e) => return Err(e),
                 };
                 stats.pdus += 1;
+                self.metrics.pdus.inc();
+                let decode_start = Instant::now();
                 let pdu = E2apPdu::decode(&frame)?;
+                self.metrics.decode_latency.observe_duration(decode_start.elapsed());
                 self.handle_pdu(ci, pdu, &mut stats)?;
             }
         }
@@ -220,14 +289,34 @@ impl RicPlatform {
             }
             for (topic, payload) in pending {
                 stats.messages_delivered += 1;
+                self.metrics.messages_delivered.inc();
                 self.invoke(ai, |app, ctx| app.on_message(ctx, &topic, &payload));
             }
         }
 
-        // 4. Ship queued control actions to the first connected agent.
+        // 4. Ship queued control actions, each routed to the agent serving
+        //    its target cell. Actions with no (or an unknown) cell fall back
+        //    to the first connected agent; unknown cells are counted as
+        //    unroutable so misconfigurations show up in the metrics.
         if !self.control_queue.is_empty() {
-            if let Some(conn) = self.conns.iter_mut().find(|c| c.setup_done) {
-                for payload in self.control_queue.drain(..) {
+            if let Some(fallback) = self.conns.iter().position(|c| c.setup_done) {
+                let queued = std::mem::take(&mut self.control_queue);
+                for ControlOut { cell, payload } in queued {
+                    let ci = match cell {
+                        Some(cell) => match self
+                            .conns
+                            .iter()
+                            .position(|c| c.setup_done && c.cells.contains(&cell))
+                        {
+                            Some(owner) => owner,
+                            None => {
+                                self.metrics.controls_unroutable.inc();
+                                fallback
+                            }
+                        },
+                        None => fallback,
+                    };
+                    let conn = &mut self.conns[ci];
                     conn.transport.send(
                         &E2apPdu::ControlRequest {
                             ran_function: RAN_FUNCTION_MOBIFLOW,
@@ -235,8 +324,9 @@ impl RicPlatform {
                         }
                         .encode(),
                     )?;
-                    self.inflight_controls.push_back(Instant::now());
+                    conn.inflight_controls.push_back(Instant::now());
                     stats.controls_sent += 1;
+                    self.metrics.controls_sent.inc();
                 }
             }
         }
@@ -246,15 +336,21 @@ impl RicPlatform {
 
     fn handle_pdu(&mut self, ci: usize, pdu: E2apPdu, stats: &mut PumpStats) -> Result<()> {
         match pdu {
-            E2apPdu::SetupRequest { ran_functions, .. } => {
+            E2apPdu::SetupRequest { gnb_id, ran_functions, cells } => {
                 let accepted: Vec<u32> = ran_functions
                     .into_iter()
                     .filter(|f| *f == RAN_FUNCTION_MOBIFLOW)
                     .collect();
-                self.conns[ci]
-                    .transport
-                    .send(&E2apPdu::SetupResponse { accepted }.encode())?;
-                self.conns[ci].setup_done = true;
+                let ack_latency = self.obs.histogram(
+                    "xsec_ric_control_ack_latency_us",
+                    &[("agent", &format!("gnb-{}", gnb_id.0))],
+                );
+                let conn = &mut self.conns[ci];
+                conn.gnb_id = Some(gnb_id);
+                conn.cells = cells;
+                conn.ack_latency = Some(ack_latency);
+                conn.transport.send(&E2apPdu::SetupResponse { accepted }.encode())?;
+                conn.setup_done = true;
                 Ok(())
             }
             E2apPdu::SubscriptionResponse { request_id, accepted } => {
@@ -271,7 +367,7 @@ impl RicPlatform {
                 Ok(())
             }
             E2apPdu::Indication { request_id, payload, sequence, .. } => {
-                self.indications_seen += 1;
+                self.metrics.indications.inc();
                 let kpm = KpmIndication::decode(&payload)?;
                 let records = kpm.mobiflow_records()?;
                 // Persist to the SDL, keyed by subscription + sequence.
@@ -287,18 +383,24 @@ impl RicPlatform {
                     self.xapps.iter().position(|x| x.request_id == Some(request_id))
                 {
                     stats.records_delivered += records.len() as u64;
+                    self.metrics.records_delivered.add(records.len() as u64);
                     self.invoke(ai, |app, ctx| app.on_records(ctx, &records, window_end));
                 }
                 Ok(())
             }
             E2apPdu::ControlAck { success, .. } => {
-                if let Some(sent_at) = self.inflight_controls.pop_front() {
-                    self.control_latency.record(sent_at.elapsed());
+                let conn = &mut self.conns[ci];
+                if let Some(sent_at) = conn.inflight_controls.pop_front() {
+                    let elapsed = sent_at.elapsed();
+                    self.control_latency.record(elapsed);
+                    if let Some(h) = &conn.ack_latency {
+                        h.observe_duration(elapsed);
+                    }
                 }
                 if success {
-                    self.controls_acked += 1;
+                    self.metrics.controls_acked.inc();
                 } else {
-                    self.controls_failed += 1;
+                    self.metrics.controls_failed.inc();
                 }
                 // Relay the outcome to xApps (the mitigator closes its
                 // delivery loop off this topic).
@@ -344,7 +446,9 @@ impl RicPlatform {
             };
             f(entry.app.as_mut(), &mut ctx);
         }
-        self.latency.record(start.elapsed());
+        let elapsed = start.elapsed();
+        self.latency.record(elapsed);
+        self.xapps[ai].handler_latency.observe_duration(elapsed);
         self.control_queue.extend(control_out);
     }
 }
@@ -536,5 +640,106 @@ mod tests {
         assert_eq!(platform.controls_failed(), 0);
         assert_eq!(platform.control_latency().count(), 1);
         assert_eq!(acks.try_recv().unwrap(), vec![1]);
+        // The send→ack latency also lands in the per-agent histogram.
+        assert_eq!(
+            platform.obs().snapshot().histogram_count("xsec_ric_control_ack_latency_us"),
+            1
+        );
+    }
+
+    /// An xApp that pins each control action to a configured cell.
+    struct CellController {
+        cell: CellId,
+    }
+
+    impl XApp for CellController {
+        fn name(&self) -> &str {
+            "cell-controller"
+        }
+        fn on_records(
+            &mut self,
+            ctx: &mut XAppContext<'_>,
+            _records: &[UeMobiFlow],
+            _window_end: Timestamp,
+        ) {
+            ctx.send_control_to(self.cell, b"act".to_vec());
+        }
+    }
+
+    /// Wires two agents (cells 1 and 2) to one platform and completes both
+    /// handshakes plus the telemetry subscription (served by both agents).
+    fn two_agent_platform(
+        app: Box<dyn XApp>,
+    ) -> (
+        RicPlatform,
+        RicAgent<xsec_e2::InProcTransport>,
+        RicAgent<xsec_e2::InProcTransport>,
+    ) {
+        let (a1_end, ric1) = in_proc_pair();
+        let (a2_end, ric2) = in_proc_pair();
+        let mut a1 =
+            RicAgent::new(RicAgentConfig { gnb_id: GnbId(1), cell: CellId(1) }, a1_end)
+                .unwrap();
+        let mut a2 =
+            RicAgent::new(RicAgentConfig { gnb_id: GnbId(2), cell: CellId(2) }, a2_end)
+                .unwrap();
+        let mut platform = RicPlatform::new();
+        platform.add_agent(Box::new(ric1));
+        platform.add_agent(Box::new(ric2));
+        platform.register_xapp(app, SubscriptionSpec::telemetry(100));
+        platform.pump().unwrap();
+        a1.poll(Timestamp(0)).unwrap();
+        a2.poll(Timestamp(0)).unwrap();
+        platform.pump().unwrap();
+        a1.poll(Timestamp(0)).unwrap();
+        a2.poll(Timestamp(0)).unwrap();
+        platform.pump().unwrap();
+        assert!(a1.is_setup() && a2.is_setup());
+        (platform, a1, a2)
+    }
+
+    #[test]
+    fn controls_route_to_the_agent_owning_the_target_cell() {
+        let (mut platform, mut a1, mut a2) =
+            two_agent_platform(Box::new(CellController { cell: CellId(2) }));
+
+        // Telemetry from agent 1 triggers a control pinned to cell 2 — it
+        // must reach agent 2, not the first-connected agent.
+        a1.push_record(record(0, 1));
+        a1.poll(Timestamp(100_000)).unwrap();
+        let stats = platform.pump().unwrap();
+        assert_eq!(stats.controls_sent, 1);
+        a1.poll(Timestamp(100_000)).unwrap();
+        a2.poll(Timestamp(100_000)).unwrap();
+        assert!(a1.take_control_requests().is_empty());
+        assert_eq!(a2.take_control_requests(), vec![b"act".to_vec()]);
+        assert_eq!(platform.controls_unroutable(), 0);
+
+        // The ack latency is attributed to agent 2's histogram.
+        platform.pump().unwrap();
+        let snapshot = platform.obs().snapshot();
+        let per_agent: Vec<(String, u64)> = snapshot
+            .histograms("xsec_ric_control_ack_latency_us")
+            .into_iter()
+            .map(|(s, h)| (s.labels[0].1.clone(), h.count))
+            .collect();
+        assert_eq!(per_agent, vec![("gnb-1".into(), 0), ("gnb-2".into(), 1)]);
+    }
+
+    #[test]
+    fn controls_for_unknown_cells_fall_back_and_are_counted() {
+        let (mut platform, mut a1, mut a2) =
+            two_agent_platform(Box::new(CellController { cell: CellId(99) }));
+
+        a1.push_record(record(0, 1));
+        a1.poll(Timestamp(100_000)).unwrap();
+        platform.pump().unwrap();
+        a1.poll(Timestamp(100_000)).unwrap();
+        a2.poll(Timestamp(100_000)).unwrap();
+        // Nobody serves cell 99: the action falls back to the first agent
+        // and the misroute is counted.
+        assert_eq!(a1.take_control_requests(), vec![b"act".to_vec()]);
+        assert!(a2.take_control_requests().is_empty());
+        assert_eq!(platform.controls_unroutable(), 1);
     }
 }

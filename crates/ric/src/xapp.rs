@@ -3,7 +3,19 @@
 
 use crate::router::Router;
 use xsec_mobiflow::{SharedDataLayer, UeMobiFlow};
-use xsec_types::Timestamp;
+use xsec_types::{CellId, Timestamp};
+
+/// A queued closed-loop control action, optionally pinned to the cell whose
+/// owning agent must enforce it. The platform routes by cell using the
+/// served-cell lists announced in E2 Setup; `cell: None` goes to the first
+/// connected agent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlOut {
+    /// The cell the action targets, when known.
+    pub cell: Option<CellId>,
+    /// Encoded control payload (mitigation TLV).
+    pub payload: Vec<u8>,
+}
 
 /// Everything an xApp may touch while handling an event.
 pub struct XAppContext<'a> {
@@ -13,7 +25,7 @@ pub struct XAppContext<'a> {
     pub router: &'a Router,
     /// Control payloads the xApp wants sent back to the RAN over E2
     /// (closed-loop feedback); the platform drains and ships them.
-    pub control_out: &'a mut Vec<Vec<u8>>,
+    pub control_out: &'a mut Vec<ControlOut>,
 }
 
 impl XAppContext<'_> {
@@ -22,9 +34,14 @@ impl XAppContext<'_> {
         self.router.publish(topic, payload);
     }
 
-    /// Queues a closed-loop control action toward the RAN.
+    /// Queues a closed-loop control action toward the RAN (any agent).
     pub fn send_control(&mut self, payload: Vec<u8>) {
-        self.control_out.push(payload);
+        self.control_out.push(ControlOut { cell: None, payload });
+    }
+
+    /// Queues a closed-loop control action toward the agent serving `cell`.
+    pub fn send_control_to(&mut self, cell: CellId, payload: Vec<u8>) {
+        self.control_out.push(ControlOut { cell: Some(cell), payload });
     }
 }
 
@@ -90,6 +107,19 @@ mod tests {
         let mut app = Recorder { seen: 0 };
         app.on_records(&mut ctx, &[], Timestamp(0));
         assert_eq!(rx.try_recv().unwrap(), 0u32.to_be_bytes().to_vec());
-        assert_eq!(control, vec![b"act".to_vec()]);
+        assert_eq!(control, vec![ControlOut { cell: None, payload: b"act".to_vec() }]);
+    }
+
+    #[test]
+    fn send_control_to_pins_the_cell() {
+        let sdl = SharedDataLayer::new();
+        let router = Router::new();
+        let mut control = Vec::new();
+        let mut ctx = XAppContext { sdl: &sdl, router: &router, control_out: &mut control };
+        ctx.send_control_to(CellId(7), b"act".to_vec());
+        assert_eq!(
+            control,
+            vec![ControlOut { cell: Some(CellId(7)), payload: b"act".to_vec() }]
+        );
     }
 }
