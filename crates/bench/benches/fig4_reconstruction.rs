@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sixg_xsec::smo::{Smo, TrainingConfig};
 use xsec_attacks::DatasetBuilder;
-use xsec_dl::{FeatureConfig, Featurizer};
+use xsec_dl::{FeatureConfig, Featurizer, Workspace};
 use xsec_mobiflow::extract_from_events;
 use xsec_types::AttackKind;
 
@@ -18,14 +18,16 @@ fn bench(c: &mut Criterion) {
     .unwrap();
 
     let mut group = c.benchmark_group("fig4_reconstruction");
+    let mut ws = Workspace::new();
     for kind in AttackKind::ALL {
         let ds = DatasetBuilder::small(100 + kind as u64, 20).attack(kind);
         let stream = extract_from_events(&ds.report.events);
         let dataset = Featurizer::encode_stream(&FeatureConfig { window: 4 }, &stream);
         let flat = dataset.flat_windows();
         group.throughput(Throughput::Elements(flat.rows() as u64));
+        // Batched scoring with a reused workspace — the path fig4 runs.
         group.bench_function(format!("score_{}", kind.short_name().replace(' ', "_")), |b| {
-            b.iter(|| models.autoencoder.score_all(&flat))
+            b.iter(|| models.autoencoder.score_rows(&flat, &mut ws))
         });
     }
     group.finish();

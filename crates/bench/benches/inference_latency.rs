@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use sixg_xsec::mobiwatch::{Detector, MobiWatch, MobiWatchConfig};
 use sixg_xsec::smo::{Smo, TrainingConfig};
 use xsec_attacks::DatasetBuilder;
-use xsec_dl::{Featurizer, Matrix, FEATURES_PER_RECORD};
+use xsec_dl::{Featurizer, Matrix, Workspace, FEATURES_PER_RECORD};
 use xsec_mobiflow::extract_from_events;
 
 fn bench(c: &mut Criterion) {
@@ -46,6 +46,18 @@ fn bench(c: &mut Criterion) {
         b.iter(|| models.autoencoder.score_row(&window_row))
     });
     c.bench_function("lstm_score_window", |b| b.iter(|| models.lstm.score(&lstm_window, &next)));
+
+    // The allocation-free hot paths MobiWatch actually runs per record.
+    let window_flat: Vec<f32> = features[..4].concat();
+    let next_flat = features[4].clone();
+    c.bench_function("autoencoder_score_window_hot", |b| {
+        let mut ws = Workspace::new();
+        b.iter(|| models.autoencoder.score_window(&window_flat, &mut ws))
+    });
+    c.bench_function("lstm_score_window_hot", |b| {
+        let mut ws = Workspace::new();
+        b.iter(|| models.lstm.score_window(&window_flat, &next_flat, &mut ws))
+    });
 
     // The full MobiWatch per-record path (what runs inside the xApp).
     for (name, detector) in

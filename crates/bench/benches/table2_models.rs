@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sixg_xsec::smo::{Smo, TrainingConfig};
 use xsec_attacks::DatasetBuilder;
-use xsec_dl::{Autoencoder, AutoencoderConfig, FeatureConfig, Featurizer};
+use xsec_dl::{Autoencoder, AutoencoderConfig, FeatureConfig, Featurizer, Workspace};
 use xsec_mobiflow::extract_from_events;
 use xsec_types::AttackKind;
 
@@ -59,8 +59,16 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("table2_scoring");
     group.throughput(Throughput::Elements(attack_flat.rows() as u64));
+    let mut ws = Workspace::new();
     group.bench_function("score_attack_dataset_ae", |b| {
-        b.iter(|| models.autoencoder.score_all(&attack_flat))
+        b.iter(|| models.autoencoder.score_rows(&attack_flat, &mut ws))
+    });
+    group.bench_function("score_attack_dataset_ae_per_row", |b| {
+        b.iter(|| {
+            (0..attack_flat.rows())
+                .map(|i| models.autoencoder.score_row(&attack_flat.row_at(i)))
+                .collect::<Vec<f32>>()
+        })
     });
     group.finish();
 }

@@ -1,0 +1,293 @@
+//! Inference-engine throughput: how many records per second the detection
+//! hot paths sustain, and at what tail latency.
+//!
+//! Three measurements, per detector where applicable:
+//!
+//! 1. **Batched vs per-row model scoring** — `score_rows`/`score_batch`
+//!    (one GEMM over M windows, reused workspace) against the legacy
+//!    window-at-a-time path, over the same data.
+//! 2. **Streaming MobiWatch** — the full per-record path (featurize → ring
+//!    push → score) with p50/p99 inference latency from the run's
+//!    histograms, plus the workspace steady-state (zero-allocation) check.
+//! 3. **Sharded pool** — `ShardedMobiWatch` at 1/2/4 shards over the same
+//!    stream, with a determinism check that the shard count does not change
+//!    the score set.
+//!
+//! Results go to stdout, `target/experiments/throughput.txt`, and
+//! `BENCH_throughput.json` in the working directory (consumed by CI).
+
+use serde_json::json;
+use sixg_xsec::mobiwatch::{Detector, MobiWatch, MobiWatchConfig};
+use sixg_xsec::shard::ShardedMobiWatch;
+use sixg_xsec::smo::{DeployedModels, Smo, TrainingConfig};
+use std::time::Instant;
+use xsec_attacks::DatasetBuilder;
+use xsec_bench::{obs, quick_mode, save_report};
+use xsec_dl::{FeatureConfig, Featurizer, Workspace};
+use xsec_mobiflow::{extract_from_events, TelemetryStream, UeMobiFlow};
+use xsec_obs::Obs;
+use xsec_types::AttackKind;
+
+/// Runs `f` until `min_secs` of wall clock have elapsed; returns
+/// (iterations, elapsed seconds). Always runs at least once.
+fn time_loop(min_secs: f64, mut f: impl FnMut()) -> (u64, f64) {
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        f();
+        iters += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_secs {
+            return (iters, elapsed);
+        }
+    }
+}
+
+fn train(quick: bool) -> (DeployedModels, TelemetryStream, TelemetryStream) {
+    let sessions = if quick { 12 } else { 25 };
+    let benign = DatasetBuilder::small(1, sessions).benign();
+    let train_stream = extract_from_events(&benign.events);
+    let models = Smo::train(
+        &TrainingConfig {
+            autoencoder_epochs: if quick { 10 } else { 25 },
+            lstm_epochs: if quick { 2 } else { 4 },
+            autoencoder_hidden: vec![48, 12],
+            lstm_hidden: 24,
+            ..TrainingConfig::default()
+        },
+        &train_stream,
+    )
+    .expect("training succeeds");
+    // Fresh benign traffic for throughput; an attack replay for the
+    // determinism check (so alerts actually fire).
+    let eval = DatasetBuilder::small(2, sessions).benign();
+    let eval_stream = extract_from_events(&eval.events);
+    let ds = DatasetBuilder::small(3, sessions).attack(AttackKind::NullCipher);
+    let attack_stream = extract_from_events(&ds.report.events);
+    (models, eval_stream, attack_stream)
+}
+
+/// Batched vs per-row scoring for both model classes.
+fn batched_section(
+    models: &DeployedModels,
+    stream: &TelemetryStream,
+    min_secs: f64,
+    text: &mut String,
+) -> serde_json::Value {
+    let feature_config = FeatureConfig { window: models.feature_config.window };
+    let dataset = Featurizer::encode_stream(&feature_config, stream);
+    let flat = dataset.flat_windows();
+    let rows = flat.rows();
+    let mut ws = Workspace::new();
+
+    let (iters, secs) = time_loop(min_secs, || {
+        std::hint::black_box(models.autoencoder.score_rows(&flat, &mut ws));
+    });
+    let ae_batched = (iters * rows as u64) as f64 / secs;
+    let (iters, secs) = time_loop(min_secs, || {
+        for i in 0..rows {
+            std::hint::black_box(models.autoencoder.score_row(&flat.row_at(i)));
+        }
+    });
+    let ae_per_row = (iters * rows as u64) as f64 / secs;
+
+    let (windows, nexts) = dataset.lstm_pairs();
+    let pairs = windows.len();
+    let (iters, secs) = time_loop(min_secs, || {
+        std::hint::black_box(models.lstm.score_batch(&windows, &nexts, &mut ws));
+    });
+    let lstm_batched = (iters * pairs as u64) as f64 / secs;
+    let (iters, secs) = time_loop(min_secs, || {
+        for i in 0..pairs {
+            std::hint::black_box(models.lstm.score(&windows[i], &nexts[i]));
+        }
+    });
+    let lstm_per_pair = (iters * pairs as u64) as f64 / secs;
+
+    text.push_str(&format!(
+        "Batched vs per-row scoring ({rows} AE windows, {pairs} LSTM pairs):\n  \
+         autoencoder: {ae_batched:>12.0} windows/s batched  {ae_per_row:>12.0} per-row  \
+         ({:.2}x)\n  \
+         lstm:        {lstm_batched:>12.0} windows/s batched  {lstm_per_pair:>12.0} per-row  \
+         ({:.2}x)\n\n",
+        ae_batched / ae_per_row,
+        lstm_batched / lstm_per_pair,
+    ));
+    json!({
+        "autoencoder": {
+            "windows": rows,
+            "batched_windows_per_sec": ae_batched,
+            "per_row_windows_per_sec": ae_per_row,
+            "speedup": ae_batched / ae_per_row,
+        },
+        "lstm": {
+            "windows": pairs,
+            "batched_windows_per_sec": lstm_batched,
+            "per_row_windows_per_sec": lstm_per_pair,
+            "speedup": lstm_batched / lstm_per_pair,
+        },
+    })
+}
+
+/// The full streaming MobiWatch path, per detector.
+fn streaming_section(
+    models: &DeployedModels,
+    records: &[UeMobiFlow],
+    min_secs: f64,
+    text: &mut String,
+) -> serde_json::Value {
+    let mut out: Vec<(String, serde_json::Value)> = Vec::new();
+    text.push_str(&format!("Streaming MobiWatch ({} records/pass):\n", records.len()));
+    for detector in [Detector::Autoencoder, Detector::Lstm] {
+        let run_obs = Obs::new();
+        let (mut watch, _state) = MobiWatch::new(
+            models.clone(),
+            MobiWatchConfig { detector, ..MobiWatchConfig::default() },
+        );
+        watch.attach_obs(&run_obs);
+        // Warm pass, then assert the workspace stops growing: the hot path
+        // must be allocation-free in steady state.
+        for r in records {
+            watch.process_record(r);
+        }
+        let grows_after_warmup = watch.workspace_grow_events();
+        let (iters, secs) = time_loop(min_secs, || {
+            for r in records {
+                std::hint::black_box(watch.process_record(r));
+            }
+        });
+        assert_eq!(
+            watch.workspace_grow_events(),
+            grows_after_warmup,
+            "{detector:?}: steady-state scoring grew workspace buffers"
+        );
+        let records_per_sec = (iters * records.len() as u64) as f64 / secs;
+        let snap = run_obs.snapshot();
+        let inference = snap
+            .histograms("xsec_mobiwatch_inference_latency_us")
+            .into_iter()
+            .map(|(_, h)| h.clone())
+            .find(|h| h.count > 0)
+            .expect("inference latency sampled");
+        text.push_str(&format!(
+            "  {:<12} {records_per_sec:>12.0} records/s  inference p50={:.0}µs p99={:.0}µs\n",
+            detector.label(),
+            inference.p50,
+            inference.p99,
+        ));
+        out.push((
+            detector.label().to_string(),
+            json!({
+                "records_per_sec": records_per_sec,
+                "inference_p50_us": inference.p50,
+                "inference_p99_us": inference.p99,
+                "workspace_steady_state": true,
+            }),
+        ));
+    }
+    text.push('\n');
+    serde_json::Value::Object(out)
+}
+
+/// Collects the final (scores, alert count) of a sharded run for parity.
+fn sharded_outcome(
+    models: &DeployedModels,
+    shards: usize,
+    records: &[UeMobiFlow],
+) -> (Vec<(u64, f32, bool)>, usize) {
+    let (mut pool, state) = ShardedMobiWatch::new(models.clone(), MobiWatchConfig::default(), shards);
+    for chunk in records.chunks(64) {
+        pool.process_batch(chunk);
+    }
+    drop(pool);
+    let state = state.lock();
+    (state.scores.clone(), state.alerts.len())
+}
+
+/// Sharded pool throughput at 1/2/4 shards plus the determinism check.
+fn sharded_section(
+    models: &DeployedModels,
+    records: &[UeMobiFlow],
+    attack_records: &[UeMobiFlow],
+    min_secs: f64,
+    text: &mut String,
+) -> serde_json::Value {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut rates = Vec::new();
+    text.push_str(&format!("Sharded pool ({} records/pass, {cores} cores):\n", records.len()));
+    for shards in [1usize, 2, 4] {
+        let (mut pool, _state) =
+            ShardedMobiWatch::new(models.clone(), MobiWatchConfig::default(), shards);
+        let (iters, secs) = time_loop(min_secs, || {
+            for chunk in records.chunks(64) {
+                std::hint::black_box(pool.process_batch(chunk));
+            }
+        });
+        let records_per_sec = (iters * records.len() as u64) as f64 / secs;
+        text.push_str(&format!("  {shards} shard(s): {records_per_sec:>12.0} records/s\n"));
+        rates.push((shards, records_per_sec));
+    }
+    let scaling = rates[2].1 / rates[0].1;
+
+    // Determinism: the shard count must not change what gets detected.
+    let (scores_1, alerts_1) = sharded_outcome(models, 1, attack_records);
+    let (scores_4, alerts_4) = sharded_outcome(models, 4, attack_records);
+    assert_eq!(scores_1, scores_4, "score set changed with shard count");
+    assert_eq!(alerts_1, alerts_4, "alert count changed with shard count");
+    let ordered = scores_4.windows(2).all(|w| w[0].0 <= w[1].0);
+    assert!(ordered, "merged scores left stream order");
+    text.push_str(&format!(
+        "  4-shard scaling: {scaling:.2}x  (parity 1 vs 4 shards: {} scores, {} alerts, \
+         identical)\n\n",
+        scores_1.len(),
+        alerts_1,
+    ));
+
+    json!({
+        "records": records.len(),
+        "cores": cores,
+        "rates": rates
+            .iter()
+            .map(|(s, r)| json!({"shards": s, "records_per_sec": r}))
+            .collect::<Vec<_>>(),
+        "scaling_4_shards": scaling,
+        "parity_1_vs_4_shards": true,
+        "stream_ordered": ordered,
+    })
+}
+
+fn main() {
+    let quick = quick_mode();
+    let min_secs = if quick { 0.2 } else { 0.8 };
+    let obs = obs();
+    xsec_obs::info!(obs, "throughput", "training models (quick={quick})");
+    let (models, eval_stream, attack_stream) = train(quick);
+
+    let mut text = String::from("Inference-engine throughput\n===========================\n\n");
+    let batched = batched_section(&models, &eval_stream, min_secs, &mut text);
+    let streaming = streaming_section(&models, &eval_stream.records, min_secs, &mut text);
+    let sharded = sharded_section(
+        &models,
+        &eval_stream.records,
+        &attack_stream.records,
+        min_secs,
+        &mut text,
+    );
+
+    let report = json!({
+        "quick": quick,
+        "cores": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "batched": batched,
+        "streaming": streaming,
+        "sharded": sharded,
+    });
+    std::fs::write(
+        "BENCH_throughput.json",
+        serde_json::to_string(&report).expect("report serializes"),
+    )
+    .expect("write BENCH_throughput.json");
+    text.push_str("Wrote BENCH_throughput.json\n");
+
+    print!("{text}");
+    save_report("throughput", &text);
+}

@@ -10,7 +10,7 @@
 use crate::smo::{Smo, TrainingConfig};
 use serde::{Deserialize, Serialize};
 use xsec_attacks::DatasetBuilder;
-use xsec_dl::{FeatureConfig, Featurizer};
+use xsec_dl::{FeatureConfig, Featurizer, Workspace};
 use xsec_mobiflow::extract_from_events;
 use xsec_types::AttackKind;
 
@@ -171,13 +171,16 @@ pub fn run(config: &Fig4Config) -> Fig4Result {
 
     let mut series = Vec::new();
     let mut stats = Vec::new();
+    // One workspace spans all five datasets: the scoring buffers warm up on
+    // the first and are reused for the rest.
+    let mut ws = Workspace::new();
     for kind in AttackKind::ALL {
         let eval_seed = config.seed + 1_000 + kind as u64;
         let ds = DatasetBuilder::small(eval_seed, config.benign_sessions).attack(kind);
         let stream = extract_from_events(&ds.report.events);
         let dataset = Featurizer::encode_stream(&feature_config, &stream);
         let flat = dataset.flat_windows();
-        let scores = models.autoencoder.score_all(&flat);
+        let scores = models.autoencoder.score_rows(&flat, &mut ws);
         let kinds = dataset.window_attack_kinds();
 
         let windows: Vec<ScoredWindow> = scores

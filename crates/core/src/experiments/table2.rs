@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use xsec_attacks::DatasetBuilder;
 use xsec_dl::{
     Autoencoder, AutoencoderConfig, Confusion, FeatureConfig, Featurizer, Lstm, LstmConfig,
-    Matrix, Threshold, FEATURES_PER_RECORD,
+    Matrix, Threshold, Workspace, FEATURES_PER_RECORD,
 };
 use xsec_mobiflow::{extract_from_events, TelemetryStream};
 use xsec_types::AttackKind;
@@ -142,6 +142,7 @@ fn benign_cross_validation(
 
     let n = flat.rows();
     let fold_size = n / config.folds;
+    let mut ws = Workspace::new();
     let mut ae_correct = 0usize;
     let mut ae_total = 0usize;
     let mut lstm_correct = 0usize;
@@ -152,11 +153,8 @@ fn benign_cross_validation(
         let test_end = if fold + 1 == config.folds { n } else { test_start + fold_size };
 
         // Train the AE on everything outside the fold.
-        let train_rows: Vec<Matrix> = (0..n)
-            .filter(|i| *i < test_start || *i >= test_end)
-            .map(|i| flat.row_at(i))
-            .collect();
-        let train = Matrix::stack_rows(&train_rows);
+        let train =
+            Matrix::stack_rows(&[flat.slice_rows(0, test_start), flat.slice_rows(test_end, n)]);
         let ae = Autoencoder::train(
             AutoencoderConfig {
                 input_dim: flat.cols(),
@@ -168,12 +166,10 @@ fn benign_cross_validation(
             &train,
         );
         let threshold = Threshold::fit(ae.training_errors(), config.training.threshold_pct);
-        for i in test_start..test_end {
-            ae_total += 1;
-            if !threshold.is_anomalous(ae.score_row(&flat.row_at(i))) {
-                ae_correct += 1;
-            }
-        }
+        // One batched pass over the held-out fold instead of a GEMV per row.
+        let fold_scores = ae.score_rows(&flat.slice_rows(test_start, test_end), &mut ws);
+        ae_total += fold_scores.len();
+        ae_correct += fold_scores.iter().filter(|s| !threshold.is_anomalous(**s)).count();
 
         // Same protocol for the LSTM over its (window, next) pairs.
         let m = lstm_windows.len();
@@ -199,12 +195,10 @@ fn benign_cross_validation(
             &tn,
         );
         let threshold = Threshold::fit(lstm.training_errors(), config.training.threshold_pct);
-        for i in lt_start..lt_end {
-            lstm_total += 1;
-            if !threshold.is_anomalous(lstm.score(&lstm_windows[i], &lstm_nexts[i])) {
-                lstm_correct += 1;
-            }
-        }
+        let fold_scores =
+            lstm.score_batch(&lstm_windows[lt_start..lt_end], &lstm_nexts[lt_start..lt_end], &mut ws);
+        lstm_total += fold_scores.len();
+        lstm_correct += fold_scores.iter().filter(|s| !threshold.is_anomalous(**s)).count();
     }
 
     (

@@ -51,10 +51,12 @@ pub mod experiments;
 pub mod mitigator;
 pub mod mobiwatch;
 pub mod pipeline;
+pub mod shard;
 pub mod smo;
 
 pub use analyzer::{AnalyzerFinding, LlmAnalyzer};
 pub use mitigator::{FindingNotice, MitigationSummary, Mitigator, MitigatorState};
 pub use mobiwatch::{Detector, MobiWatch, MobiWatchConfig};
+pub use shard::ShardedMobiWatch;
 pub use pipeline::{ClosedLoopOutcome, Pipeline, PipelineConfig, PipelineOutcome};
 pub use smo::{DeployedModels, Smo, TrainingConfig};

@@ -8,10 +8,11 @@
 
 use crate::smo::DeployedModels;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 use parking_lot::Mutex;
-use xsec_dl::{Featurizer, Matrix, FEATURES_PER_RECORD};
+use xsec_dl::{FeatureRing, Featurizer, Workspace, FEATURES_PER_RECORD};
 use xsec_mobiflow::{encode_ue_record, UeMobiFlow};
 use xsec_obs::{Counter, Histogram, Obs};
 use xsec_ric::{XApp, XAppContext};
@@ -38,14 +39,14 @@ impl Detector {
 
 /// MobiWatch's per-stage instruments, labelled by the detector in force.
 #[derive(Debug, Clone)]
-struct WatchMetrics {
-    featurize_latency: Histogram,
-    inference_latency: Histogram,
-    alerts: Counter,
+pub(crate) struct WatchMetrics {
+    pub(crate) featurize_latency: Histogram,
+    pub(crate) inference_latency: Histogram,
+    pub(crate) alerts: Counter,
 }
 
 impl WatchMetrics {
-    fn register(obs: &Obs, detector: Detector) -> Self {
+    pub(crate) fn register(obs: &Obs, detector: Detector) -> Self {
         let labels = &[("detector", detector.label())];
         WatchMetrics {
             featurize_latency: obs.histogram("xsec_mobiwatch_featurize_latency_us", labels),
@@ -108,7 +109,13 @@ pub struct MobiWatch {
     models: DeployedModels,
     config: MobiWatchConfig,
     featurizer: Featurizer,
-    history: Vec<(UeMobiFlow, Vec<f32>)>,
+    /// Flattened feature window — the scoring hot path reads contiguous
+    /// slices out of this ring instead of rebuilding a window per record.
+    ring: FeatureRing,
+    /// Raw records for alert context only, eagerly capped.
+    raw_history: VecDeque<UeMobiFlow>,
+    feature_buf: Vec<f32>,
+    workspace: Workspace,
     records_seen: u64,
     last_publish_at: Option<u64>,
     state: Arc<Mutex<MobiWatchState>>,
@@ -124,12 +131,17 @@ impl MobiWatch {
     ) -> (Self, Arc<Mutex<MobiWatchState>>) {
         let state = Arc::new(Mutex::new(MobiWatchState::default()));
         let metrics = WatchMetrics::register(&Obs::new(), config.detector);
+        // The LSTM consumes window + 1 rows (sequence plus predicted step).
+        let ring = FeatureRing::new(FEATURES_PER_RECORD, models.feature_config.window + 1);
         (
             MobiWatch {
                 models,
                 config,
                 featurizer: Featurizer::new(),
-                history: Vec::new(),
+                ring,
+                raw_history: VecDeque::new(),
+                feature_buf: Vec::with_capacity(FEATURES_PER_RECORD),
+                workspace: Workspace::new(),
                 records_seen: 0,
                 last_publish_at: None,
                 state: state.clone(),
@@ -150,46 +162,50 @@ impl MobiWatch {
         self.models.feature_config.window
     }
 
+    /// How often the scoring workspace had to grow a buffer. Stable across
+    /// calls once warm — the steady-state zero-allocation guarantee.
+    pub fn workspace_grow_events(&self) -> usize {
+        self.workspace.grow_events()
+    }
+
     /// Feeds one record; returns an alert when the window it completes is
     /// anomalous (alert emission respects the publish cooldown; scoring
     /// happens for every window regardless).
     pub fn process_record(&mut self, record: &UeMobiFlow) -> Option<AnomalyAlert> {
         let featurize_start = Instant::now();
-        let features = self.featurizer.encode_record(record);
+        let mut features = std::mem::take(&mut self.feature_buf);
+        self.featurizer.encode_record_into(record, &mut features);
+        self.ring.push(&features);
+        self.feature_buf = features;
         self.metrics.featurize_latency.observe_duration(featurize_start.elapsed());
-        self.history.push((record.clone(), features));
-        self.records_seen += 1;
-        let n = self.window();
 
-        // Cap memory: keep enough history for context + window.
-        let keep = (self.config.context_records + n + 1).max(2 * n);
-        if self.history.len() > 4 * keep {
-            self.history.drain(..self.history.len() - keep);
+        // Cap memory eagerly: only the records an alert can ever reference
+        // (context + window, at least window + 1 so the LSTM span fits).
+        let n = self.window();
+        let keep = (self.config.context_records + n).max(n + 1);
+        self.raw_history.push_back(record.clone());
+        while self.raw_history.len() > keep {
+            self.raw_history.pop_front();
         }
+        self.records_seen += 1;
 
         let inference_start = Instant::now();
         let (score, threshold) = match self.config.detector {
             Detector::Autoencoder => {
-                if self.history.len() < n {
+                if self.ring.len() < n {
                     return None;
                 }
-                let mut flat = Vec::with_capacity(n * FEATURES_PER_RECORD);
-                for (_, f) in &self.history[self.history.len() - n..] {
-                    flat.extend_from_slice(f);
-                }
-                let score = self.models.autoencoder.score_row(&Matrix::row(flat));
+                let score =
+                    self.models.autoencoder.score_window(self.ring.last_n(n), &mut self.workspace);
                 (score, self.models.ae_threshold)
             }
             Detector::Lstm => {
-                if self.history.len() < n + 1 {
+                if self.ring.len() < n + 1 {
                     return None;
                 }
-                let hist = &self.history[self.history.len() - n - 1..];
-                let rows: Vec<Matrix> =
-                    hist[..n].iter().map(|(_, f)| Matrix::row(f.clone())).collect();
-                let window = Matrix::stack_rows(&rows);
-                let next = Matrix::row(hist[n].1.clone());
-                let score = self.models.lstm.score(&window, &next);
+                let span = self.ring.last_n(n + 1);
+                let (window_flat, next) = span.split_at(n * FEATURES_PER_RECORD);
+                let score = self.models.lstm.score_window(window_flat, next, &mut self.workspace);
                 (score, self.models.lstm_threshold)
             }
         };
@@ -212,13 +228,13 @@ impl MobiWatch {
         self.last_publish_at = Some(record_index);
 
         let context = self.config.context_records + n;
-        let start = self.history.len().saturating_sub(context);
+        let start = self.raw_history.len().saturating_sub(context);
         let alert = AnomalyAlert {
             at_record: record_index,
             at_time: record.timestamp,
             score,
             threshold: threshold.value,
-            records: self.history[start..].iter().map(|(r, _)| encode_ue_record(r)).collect(),
+            records: self.raw_history.iter().skip(start).map(encode_ue_record).collect(),
         };
         self.state.lock().alerts.push(alert.clone());
         self.metrics.alerts.inc();
@@ -336,6 +352,40 @@ mod tests {
         let flagged = state.scores.iter().filter(|(_, _, f)| *f).count();
         assert!(flagged > state.alerts.len(), "cooldown should suppress repeats");
         assert!(state.alerts.len() <= 2);
+    }
+
+    #[test]
+    fn history_stays_bounded_and_scoring_stops_allocating() {
+        let models = quick_models(18);
+        let keep = {
+            let config = MobiWatchConfig::default();
+            (config.context_records + models.feature_config.window)
+                .max(models.feature_config.window + 1)
+        };
+        let (mut watch, state) = MobiWatch::new(models, MobiWatchConfig::default());
+        let report = DatasetBuilder::small(19, 10).benign();
+        let stream = extract_from_events(&report.events);
+        assert!(stream.records.len() > keep + 10, "stream must outrun the cap");
+        let mut grows_after_warmup = None;
+        for (i, r) in stream.records.iter().enumerate() {
+            watch.process_record(r);
+            // Raw history must never exceed the alert-context cap — the old
+            // implementation let it grow to 4× before draining.
+            assert!(
+                watch.raw_history.len() <= keep,
+                "history grew to {} (cap {keep}) at record {i}",
+                watch.raw_history.len()
+            );
+            if i == 2 * watch.window() {
+                grows_after_warmup = Some(watch.workspace_grow_events());
+            }
+        }
+        assert_eq!(
+            Some(watch.workspace_grow_events()),
+            grows_after_warmup,
+            "steady-state scoring must not grow workspace buffers"
+        );
+        assert!(!state.lock().scores.is_empty());
     }
 
     #[test]

@@ -38,6 +38,11 @@ pub struct PipelineConfig {
     pub detector_window: usize,
     /// E2 report period in milliseconds.
     pub report_period_ms: u32,
+    /// Scoring worker threads. `0` keeps the single-threaded MobiWatch with
+    /// its global sliding window; `>= 1` deploys the per-UE sharded pool
+    /// ([`crate::shard::ShardedMobiWatch`]), whose detections are invariant
+    /// in the shard count.
+    pub scoring_shards: usize,
 }
 
 impl PipelineConfig {
@@ -57,6 +62,7 @@ impl PipelineConfig {
             personality: ModelPersonality::CHATGPT_4O,
             detector_window: 4,
             report_period_ms: 100,
+            scoring_shards: 0,
         }
     }
 
@@ -70,6 +76,7 @@ impl PipelineConfig {
             personality: ModelPersonality::CHATGPT_4O,
             detector_window: 4,
             report_period_ms: 100,
+            scoring_shards: 0,
         }
     }
 }
@@ -182,11 +189,22 @@ impl Pipeline {
         let mut platform = RicPlatform::with_obs(obs.clone());
         platform.add_agent(Box::new(ric_end));
 
-        let (mut watch, watch_state) = MobiWatch::new(
-            self.models.clone(),
-            MobiWatchConfig { detector: self.config.detector, ..MobiWatchConfig::default() },
-        );
-        watch.attach_obs(&obs);
+        let watch_config =
+            MobiWatchConfig { detector: self.config.detector, ..MobiWatchConfig::default() };
+        let (watch, watch_state): (Box<dyn xsec_ric::XApp>, _) =
+            if self.config.scoring_shards > 0 {
+                let (mut pool, state) = crate::shard::ShardedMobiWatch::new(
+                    self.models.clone(),
+                    watch_config,
+                    self.config.scoring_shards,
+                );
+                pool.attach_obs(&obs);
+                (Box::new(pool), state)
+            } else {
+                let (mut watch, state) = MobiWatch::new(self.models.clone(), watch_config);
+                watch.attach_obs(&obs);
+                (Box::new(watch), state)
+            };
         let (mut analyzer, analyzer_state) = LlmAnalyzer::new(
             Box::new(SimulatedExpert::new(self.config.personality)),
             "anomalies",
@@ -194,10 +212,8 @@ impl Pipeline {
         analyzer.attach_obs(&obs);
         let (mitigator, mitigator_state) =
             Mitigator::with_obs(PolicyEngine::default(), obs.clone());
-        platform.register_xapp(
-            Box::new(watch),
-            SubscriptionSpec::telemetry(self.config.report_period_ms),
-        );
+        platform
+            .register_xapp(watch, SubscriptionSpec::telemetry(self.config.report_period_ms));
         platform
             .register_xapp(Box::new(analyzer), SubscriptionSpec::topics_only(&["anomalies"]));
         // The mitigator also subscribes to telemetry: the report windows are
@@ -300,11 +316,17 @@ impl Pipeline {
 
     /// Scores the run against ground truth and snapshots every xApp state.
     fn evaluate(&self, stream: &TelemetryStream, d: Deployment) -> PipelineOutcome {
-        let feature_config = FeatureConfig { window: self.config.detector_window };
-        let dataset = Featurizer::encode_stream(&feature_config, stream);
-        let truth = match self.config.detector {
-            Detector::Autoencoder => dataset.window_labels(),
-            Detector::Lstm => dataset.lstm_labels(),
+        let truth = if self.config.scoring_shards > 0 {
+            // The sharded pool windows per UE, so truth must follow the
+            // same per-UE accounting to line up record for record.
+            crate::shard::per_ue_truth(stream, self.config.detector_window, self.config.detector)
+        } else {
+            let feature_config = FeatureConfig { window: self.config.detector_window };
+            let dataset = Featurizer::encode_stream(&feature_config, stream);
+            match self.config.detector {
+                Detector::Autoencoder => dataset.window_labels(),
+                Detector::Lstm => dataset.lstm_labels(),
+            }
         };
         let watch_state = d.watch_state.lock();
         let predictions: Vec<bool> = watch_state.scores.iter().map(|(_, _, f)| *f).collect();
@@ -359,6 +381,19 @@ mod tests {
         let outcome = pipeline.run_benign();
         let accuracy = outcome.confusion.accuracy().unwrap();
         assert!(accuracy > 0.85, "benign accuracy too low: {accuracy}");
+    }
+
+    #[test]
+    fn sharded_scoring_runs_end_to_end() {
+        let mut config = PipelineConfig::small(24, 15);
+        config.scoring_shards = 2;
+        let pipeline = Pipeline::train(&config);
+        let outcome = pipeline.run_attack(AttackKind::NullCipher);
+        // Per-UE windows still surface the downgrade and the evaluation's
+        // per-UE truth accounting lines up with the pool's emissions.
+        assert!(outcome.records > 100);
+        assert!(outcome.flagged_windows > 0, "downgrade not flagged");
+        assert!(outcome.metrics.histogram_count("xsec_mobiwatch_inference_latency_us") > 0);
     }
 
     #[test]

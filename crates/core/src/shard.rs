@@ -1,0 +1,434 @@
+//! Per-UE sharded MobiWatch scoring: fan inference out across worker
+//! threads without changing what gets detected.
+//!
+//! The single-threaded [`MobiWatch`](crate::mobiwatch::MobiWatch) scores one
+//! global sliding window; past a few hundred thousand records per second one
+//! core becomes the ceiling. This module splits the *scoring* work by UE:
+//!
+//! * **Featurization stays global and sequential** on the ingest thread.
+//!   The relational features (TMSI reuse across connections, inter-arrival
+//!   gaps, setup/release burst density) are stream-level state — computing
+//!   them per shard would change their values. Every record's feature vector
+//!   is therefore identical to the single-threaded pipeline's.
+//! * **Windowing and scoring are per UE.** Each `du_ue_id` hashes to exactly
+//!   one shard, which keeps that UE's [`FeatureRing`], raw-record context,
+//!   and alert cooldown. A UE's records arrive at its shard in stream order,
+//!   so per-UE state evolves deterministically — the score and alert sets
+//!   are *invariant in the shard count*, which is what makes the pool safe
+//!   to widen with the machine.
+//! * **Merging is a fork/join per E2 batch.** After dispatching a batch the
+//!   ingest thread sends every shard a drain token and collects one reply
+//!   each; results are ordered by global record index before they touch the
+//!   shared state, so downstream consumers observe one deterministic stream.
+
+use crate::mobiwatch::{AnomalyAlert, MobiWatchConfig, MobiWatchState, WatchMetrics};
+use crate::smo::DeployedModels;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use xsec_dl::{FeatureRing, Featurizer, Workspace, FEATURES_PER_RECORD};
+use xsec_mobiflow::{encode_ue_record, TelemetryStream, UeMobiFlow};
+use xsec_obs::Obs;
+use xsec_ric::{XApp, XAppContext};
+use xsec_types::Timestamp;
+
+use crate::mobiwatch::Detector;
+
+/// Which shard owns a connection. A fixed multiplicative hash keeps the
+/// mapping deterministic across runs and spreads sequential IDs.
+fn shard_of(du_ue_id: u32, shards: usize) -> usize {
+    (du_ue_id.wrapping_mul(0x9E37_79B1) as usize) % shards
+}
+
+/// Work sent to a shard.
+enum ToShard {
+    /// One featurized record owned by this shard's UE set.
+    Record {
+        index: u64,
+        record: UeMobiFlow,
+        features: Vec<f32>,
+    },
+    /// Fork/join barrier: reply with everything scored since the last drain.
+    Drain,
+}
+
+/// One shard's results for one batch.
+#[derive(Default)]
+struct ShardBatch {
+    /// `(global record index, score, flagged)` in this shard's arrival order.
+    scores: Vec<(u64, f32, bool)>,
+    /// Alerts raised this batch, tagged with their global record index.
+    alerts: Vec<(u64, AnomalyAlert)>,
+}
+
+/// Per-UE detection state owned by exactly one shard.
+struct UeState {
+    ring: FeatureRing,
+    raw: VecDeque<UeMobiFlow>,
+    seen: u64,
+    last_publish: Option<u64>,
+}
+
+impl UeState {
+    fn new(window: usize) -> Self {
+        UeState {
+            ring: FeatureRing::new(FEATURES_PER_RECORD, window + 1),
+            raw: VecDeque::new(),
+            seen: 0,
+            last_publish: None,
+        }
+    }
+}
+
+/// The sharded anomaly-detection xApp. Drop-in replacement for `MobiWatch`
+/// in the platform: same name, same topics, same shared-state type — the
+/// scores it records are per-UE windows rather than one global window.
+pub struct ShardedMobiWatch {
+    models: DeployedModels,
+    config: MobiWatchConfig,
+    shards: usize,
+    featurizer: Featurizer,
+    feature_buf: Vec<f32>,
+    records_seen: u64,
+    state: Arc<Mutex<MobiWatchState>>,
+    metrics: WatchMetrics,
+    workers: Vec<JoinHandle<()>>,
+    to_shards: Vec<Sender<ToShard>>,
+    from_shards: Option<Receiver<ShardBatch>>,
+}
+
+impl ShardedMobiWatch {
+    /// Creates the pool (threads start lazily on the first batch, after
+    /// [`attach_obs`](Self::attach_obs) has had a chance to run).
+    ///
+    /// # Panics
+    /// If `shards` is zero.
+    pub fn new(
+        models: DeployedModels,
+        config: MobiWatchConfig,
+        shards: usize,
+    ) -> (Self, Arc<Mutex<MobiWatchState>>) {
+        assert!(shards > 0, "shard count must be positive");
+        let state = Arc::new(Mutex::new(MobiWatchState::default()));
+        let metrics = WatchMetrics::register(&Obs::new(), config.detector);
+        (
+            ShardedMobiWatch {
+                models,
+                config,
+                shards,
+                featurizer: Featurizer::new(),
+                feature_buf: Vec::with_capacity(FEATURES_PER_RECORD),
+                records_seen: 0,
+                state: state.clone(),
+                metrics,
+                workers: Vec::new(),
+                to_shards: Vec::new(),
+                from_shards: None,
+            },
+            state,
+        )
+    }
+
+    /// Re-homes the pool's instruments into `obs`'s registry. Call before
+    /// the first batch — worker threads capture the instruments at spawn.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        assert!(self.workers.is_empty(), "attach_obs must precede the first batch");
+        self.metrics = WatchMetrics::register(obs, self.config.detector);
+    }
+
+    /// The sliding-window length in force.
+    pub fn window(&self) -> usize {
+        self.models.feature_config.window
+    }
+
+    fn ensure_started(&mut self) {
+        if !self.workers.is_empty() {
+            return;
+        }
+        let (reply_tx, reply_rx) = unbounded::<ShardBatch>();
+        for _ in 0..self.shards {
+            let (tx, rx) = unbounded::<ToShard>();
+            let models = self.models.clone();
+            let config = self.config.clone();
+            let metrics = self.metrics.clone();
+            let reply = reply_tx.clone();
+            self.to_shards.push(tx);
+            self.workers.push(std::thread::spawn(move || {
+                shard_loop(models, config, metrics, rx, reply);
+            }));
+        }
+        self.from_shards = Some(reply_rx);
+    }
+
+    /// Featurizes, dispatches, and joins one batch of records; returns the
+    /// alerts raised, ordered by global record index.
+    pub fn process_batch(&mut self, records: &[UeMobiFlow]) -> Vec<AnomalyAlert> {
+        self.ensure_started();
+        for record in records {
+            let t0 = Instant::now();
+            let mut features = std::mem::take(&mut self.feature_buf);
+            self.featurizer.encode_record_into(record, &mut features);
+            self.metrics.featurize_latency.observe_duration(t0.elapsed());
+            let shard = shard_of(record.du_ue_id, self.shards);
+            self.to_shards[shard]
+                .send(ToShard::Record {
+                    index: self.records_seen,
+                    record: record.clone(),
+                    features: features.clone(),
+                })
+                .expect("shard alive");
+            self.feature_buf = features;
+            self.records_seen += 1;
+        }
+        // Fork/join: one drain token per shard, one reply per shard.
+        for tx in &self.to_shards {
+            tx.send(ToShard::Drain).expect("shard alive");
+        }
+        let rx = self.from_shards.as_ref().expect("started");
+        let mut scores = Vec::new();
+        let mut alerts = Vec::new();
+        for _ in 0..self.shards {
+            let batch = rx.recv().expect("shard replies");
+            scores.extend(batch.scores);
+            alerts.extend(batch.alerts);
+        }
+        // Deterministic merge: shard arrival order is per-UE only; global
+        // record index restores the stream order regardless of shard count.
+        scores.sort_unstable_by_key(|(i, _, _)| *i);
+        alerts.sort_unstable_by_key(|(i, _)| *i);
+        let alerts: Vec<AnomalyAlert> = alerts.into_iter().map(|(_, a)| a).collect();
+        let mut state = self.state.lock();
+        state.scores.extend(scores);
+        state.alerts.extend(alerts.iter().cloned());
+        alerts
+    }
+}
+
+impl Drop for ShardedMobiWatch {
+    fn drop(&mut self) {
+        self.to_shards.clear(); // hang up: workers exit on channel close
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl XApp for ShardedMobiWatch {
+    fn name(&self) -> &str {
+        "mobiwatch"
+    }
+
+    fn on_records(
+        &mut self,
+        ctx: &mut XAppContext<'_>,
+        records: &[UeMobiFlow],
+        _window_end: Timestamp,
+    ) {
+        for alert in self.process_batch(records) {
+            let payload = serde_json::to_vec(&alert).expect("alert serializes");
+            ctx.publish(&self.config.publish_topic, &payload);
+        }
+    }
+}
+
+/// The worker body: per-UE windowing and scoring over this shard's UE set.
+fn shard_loop(
+    models: DeployedModels,
+    config: MobiWatchConfig,
+    metrics: WatchMetrics,
+    rx: Receiver<ToShard>,
+    reply: Sender<ShardBatch>,
+) {
+    let n = models.feature_config.window;
+    let keep = (config.context_records + n).max(n + 1);
+    let mut ues: HashMap<u32, UeState> = HashMap::new();
+    let mut ws = Workspace::new();
+    let mut batch = ShardBatch::default();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToShard::Drain => {
+                if reply.send(std::mem::take(&mut batch)).is_err() {
+                    return; // pool is shutting down
+                }
+            }
+            ToShard::Record { index, record, features } => {
+                let ue = ues
+                    .entry(record.du_ue_id)
+                    .or_insert_with(|| UeState::new(n));
+                ue.ring.push(&features);
+                ue.raw.push_back(record);
+                while ue.raw.len() > keep {
+                    ue.raw.pop_front();
+                }
+                ue.seen += 1;
+
+                let t0 = Instant::now();
+                let (score, threshold) = match config.detector {
+                    Detector::Autoencoder => {
+                        if ue.ring.len() < n {
+                            continue;
+                        }
+                        let score = models
+                            .autoencoder
+                            .score_window(ue.ring.last_n(n), &mut ws);
+                        (score, models.ae_threshold)
+                    }
+                    Detector::Lstm => {
+                        if ue.ring.len() < n + 1 {
+                            continue;
+                        }
+                        let span = ue.ring.last_n(n + 1);
+                        let (window_flat, next) = span.split_at(n * FEATURES_PER_RECORD);
+                        let score = models.lstm.score_window(window_flat, next, &mut ws);
+                        (score, models.lstm_threshold)
+                    }
+                };
+                metrics.inference_latency.observe_duration(t0.elapsed());
+
+                let flagged = threshold.is_anomalous(score);
+                batch.scores.push((index, score, flagged));
+                if !flagged {
+                    continue;
+                }
+                // Cooldown in the UE's own record count, so it is invariant
+                // in both the shard count and the other UEs' traffic.
+                if let Some(last) = ue.last_publish {
+                    if ue.seen.saturating_sub(last) < config.publish_cooldown as u64 {
+                        continue;
+                    }
+                }
+                ue.last_publish = Some(ue.seen);
+                let newest = ue.raw.back().expect("just pushed");
+                let alert = AnomalyAlert {
+                    at_record: index,
+                    at_time: newest.timestamp,
+                    score,
+                    threshold: threshold.value,
+                    records: ue.raw.iter().map(encode_ue_record).collect(),
+                };
+                metrics.alerts.inc();
+                batch.alerts.push((index, alert));
+            }
+        }
+    }
+}
+
+/// Ground truth aligned with the sharded pool's per-UE emissions.
+///
+/// Mirrors the shards' window accounting over the labeled stream: walking
+/// records in order, a score is emitted at record `i` once its UE has
+/// accumulated `window` records (autoencoder) or `window + 1` (LSTM), and
+/// the window is anomalous if *any* record in the UE's span is
+/// attack-labeled — the paper's labeling rule, applied per UE.
+pub fn per_ue_truth(stream: &TelemetryStream, window: usize, detector: Detector) -> Vec<bool> {
+    let span = match detector {
+        Detector::Autoencoder => window,
+        Detector::Lstm => window + 1,
+    };
+    let mut per_ue: HashMap<u32, VecDeque<bool>> = HashMap::new();
+    let mut truth = Vec::new();
+    for (record, label) in stream.records.iter().zip(&stream.labels) {
+        let labels = per_ue.entry(record.du_ue_id).or_default();
+        labels.push_back(label.attack_kind().is_some());
+        while labels.len() > span {
+            labels.pop_front();
+        }
+        if labels.len() == span {
+            truth.push(labels.iter().any(|&a| a));
+        }
+    }
+    truth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smo::{Smo, TrainingConfig};
+    use xsec_attacks::DatasetBuilder;
+    use xsec_mobiflow::extract_from_events;
+    use xsec_types::AttackKind;
+
+    fn quick_models(seed: u64) -> DeployedModels {
+        let report = DatasetBuilder::small(seed, 15).benign();
+        let stream = extract_from_events(&report.events);
+        Smo::train(
+            &TrainingConfig {
+                autoencoder_epochs: 12,
+                lstm_epochs: 3,
+                autoencoder_hidden: vec![48, 12],
+                lstm_hidden: 24,
+                ..TrainingConfig::default()
+            },
+            &stream,
+        )
+        .unwrap()
+    }
+
+    fn run_sharded(
+        models: &DeployedModels,
+        config: &MobiWatchConfig,
+        shards: usize,
+        stream: &TelemetryStream,
+    ) -> MobiWatchState {
+        let (mut pool, state) = ShardedMobiWatch::new(models.clone(), config.clone(), shards);
+        // Mixed batch sizes exercise the fork/join on uneven boundaries.
+        for chunk in stream.records.chunks(23) {
+            pool.process_batch(chunk);
+        }
+        drop(pool);
+        Arc::try_unwrap(state).expect("pool dropped").into_inner()
+    }
+
+    #[test]
+    fn alert_and_score_sets_are_shard_count_invariant() {
+        let models = quick_models(30);
+        let config = MobiWatchConfig::default();
+        let ds = DatasetBuilder::small(31, 10).attack(AttackKind::NullCipher);
+        let stream = extract_from_events(&ds.report.events);
+
+        let single = run_sharded(&models, &config, 1, &stream);
+        let quad = run_sharded(&models, &config, 4, &stream);
+
+        assert!(!single.scores.is_empty(), "stream must produce scores");
+        assert_eq!(single.scores, quad.scores, "scores must not depend on shard count");
+        assert_eq!(single.alerts.len(), quad.alerts.len());
+        for (a, b) in single.alerts.iter().zip(&quad.alerts) {
+            assert_eq!(a.at_record, b.at_record);
+            assert_eq!(a.score, b.score);
+            assert_eq!(a.records, b.records);
+        }
+    }
+
+    #[test]
+    fn scores_arrive_in_global_record_order() {
+        let models = quick_models(32);
+        let ds = DatasetBuilder::small(33, 8).attack(AttackKind::BtsDos);
+        let stream = extract_from_events(&ds.report.events);
+        let state = run_sharded(&models, &MobiWatchConfig::default(), 3, &stream);
+        let indices: Vec<u64> = state.scores.iter().map(|(i, _, _)| *i).collect();
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(indices, sorted, "merged scores must be stream-ordered");
+    }
+
+    #[test]
+    fn per_ue_truth_matches_emission_accounting() {
+        let models = quick_models(34);
+        let ds = DatasetBuilder::small(35, 8).attack(AttackKind::NullCipher);
+        let stream = extract_from_events(&ds.report.events);
+        for detector in [Detector::Autoencoder, Detector::Lstm] {
+            let config = MobiWatchConfig { detector, ..MobiWatchConfig::default() };
+            let state = run_sharded(&models, &config, 2, &stream);
+            let truth =
+                per_ue_truth(&stream, models.feature_config.window, detector);
+            assert_eq!(
+                state.scores.len(),
+                truth.len(),
+                "{detector:?}: emission accounting diverged from truth helper"
+            );
+        }
+    }
+}

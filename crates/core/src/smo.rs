@@ -8,8 +8,8 @@
 
 use serde::{Deserialize, Serialize};
 use xsec_dl::{
-    Autoencoder, AutoencoderConfig, FeatureConfig, Featurizer, Lstm, LstmConfig, Matrix,
-    Threshold, FEATURES_PER_RECORD,
+    Autoencoder, AutoencoderConfig, FeatureConfig, Featurizer, Lstm, LstmConfig, Threshold,
+    Workspace, FEATURES_PER_RECORD,
 };
 use xsec_mobiflow::TelemetryStream;
 use xsec_types::{Result, XsecError};
@@ -105,11 +105,11 @@ impl Smo {
         // on *unseen* benign data reflect deployment conditions better than
         // training-set errors, which underestimate the benign tail on small
         // datasets (see DESIGN.md ablations).
+        let mut ws = Workspace::new();
         let flat = dataset.flat_windows();
         let n = flat.rows();
         let val_start = n - n / 5 - 1;
-        let train_rows: Vec<Matrix> = (0..val_start).map(|i| flat.row_at(i)).collect();
-        let train = Matrix::stack_rows(&train_rows);
+        let train = flat.slice_rows(0, val_start);
         let ae_config = AutoencoderConfig {
             input_dim: config.window * FEATURES_PER_RECORD,
             hidden: config.autoencoder_hidden.clone(),
@@ -118,8 +118,7 @@ impl Smo {
             ..AutoencoderConfig::for_input(config.window * FEATURES_PER_RECORD)
         };
         let autoencoder = Autoencoder::train(ae_config, &train);
-        let val_scores: Vec<f32> =
-            (val_start..n).map(|i| autoencoder.score_row(&flat.row_at(i))).collect();
+        let val_scores = autoencoder.score_rows(&flat.slice_rows(val_start, n), &mut ws);
         let ae_threshold = Threshold::fit(&val_scores, config.threshold_pct);
 
         let (windows, nexts) = dataset.lstm_pairs();
@@ -136,9 +135,8 @@ impl Smo {
             &windows[..lstm_val_start],
             &nexts[..lstm_val_start],
         );
-        let lstm_val: Vec<f32> = (lstm_val_start..windows.len())
-            .map(|i| lstm.score(&windows[i], &nexts[i]))
-            .collect();
+        let lstm_val =
+            lstm.score_batch(&windows[lstm_val_start..], &nexts[lstm_val_start..], &mut ws);
         let lstm_threshold = Threshold::fit(&lstm_val, config.threshold_pct);
 
         Ok(DeployedModels { feature_config, autoencoder, ae_threshold, lstm, lstm_threshold })

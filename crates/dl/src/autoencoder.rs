@@ -8,6 +8,7 @@
 use crate::dense::{Activation, Dense};
 use crate::metrics::percentile;
 use crate::tensor::Matrix;
+use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -98,7 +99,7 @@ impl Autoencoder {
             }
         }
 
-        model.training_errors = (0..n).map(|i| model.score_row(&data.row_at(i))).collect();
+        model.training_errors = model.score_rows(data, &mut Workspace::new());
         model
     }
 
@@ -124,14 +125,85 @@ impl Autoencoder {
     }
 
     /// Anomaly score of a single window (1 × input_dim): reconstruction MSE.
+    ///
+    /// This is the allocation-heavy reference path; the hot paths use
+    /// [`Autoencoder::score_window`] / [`Autoencoder::score_rows`], which
+    /// the parity tests pin against it.
     pub fn score_row(&self, x: &Matrix) -> f32 {
         assert_eq!(x.rows(), 1, "score_row takes one window");
         self.reconstruct(x).sub(x).mean_sq()
     }
 
-    /// Scores every row of a dataset.
+    /// Scores every row of a dataset (batched — see [`Autoencoder::score_rows`]).
     pub fn score_all(&self, data: &Matrix) -> Vec<f32> {
-        (0..data.rows()).map(|i| self.score_row(&data.row_at(i))).collect()
+        self.score_rows(data, &mut Workspace::new())
+    }
+
+    /// Batched forward pass through the layer stack into workspace
+    /// buffers; returns which buffer holds the reconstruction.
+    fn reconstruct_into<'w>(&self, x: &Matrix, ws: &'w mut Workspace) -> &'w Matrix {
+        for (li, layer) in self.layers.iter().enumerate() {
+            let grew = if li == 0 {
+                layer.forward_into(x, &mut ws.a)
+            } else if li % 2 == 1 {
+                let (src, dst) = (&ws.a, &mut ws.b);
+                layer.forward_into(src, dst)
+            } else {
+                let (src, dst) = (&ws.b, &mut ws.a);
+                layer.forward_into(src, dst)
+            };
+            ws.note(grew);
+        }
+        if self.layers.len() % 2 == 1 {
+            &ws.a
+        } else {
+            &ws.b
+        }
+    }
+
+    /// Scores every row of `data` in one batched sweep: each layer is a
+    /// single GEMM over all rows instead of one GEMV per row, and all
+    /// temporaries live in the workspace. Row `i` of the result equals
+    /// `score_row(data.row_at(i))`.
+    pub fn score_rows(&self, data: &Matrix, ws: &mut Workspace) -> Vec<f32> {
+        if data.rows() == 0 {
+            return Vec::new();
+        }
+        let recon = self.reconstruct_into(data, ws);
+        let width = data.cols();
+        (0..data.rows())
+            .map(|i| {
+                let (orig, rec) = (data.row_slice(i), recon.row_slice(i));
+                orig.iter()
+                    .zip(rec)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f32>()
+                    / width as f32
+            })
+            .collect()
+    }
+
+    /// Scores one flattened window (`input_dim` floats) without building a
+    /// fresh `Matrix` — the steady-state zero-allocation detection hot
+    /// path. The window is staged into the workspace's input buffer
+    /// (borrowed out for the duration of the pass and returned after).
+    ///
+    /// # Panics
+    /// If `flat.len() != input_dim`.
+    pub fn score_window(&self, flat: &[f32], ws: &mut Workspace) -> f32 {
+        assert_eq!(flat.len(), self.config.input_dim, "window width mismatch");
+        let mut x = std::mem::take(&mut ws.x);
+        let grew = x.copy_from_flat(1, flat.len(), flat);
+        ws.note(grew);
+        let recon = self.reconstruct_into(&x, ws);
+        let score = flat
+            .iter()
+            .zip(recon.row_slice(0))
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / flat.len() as f32;
+        ws.x = x;
+        score
     }
 
     /// The detection threshold at the given percentile of training errors
@@ -250,5 +322,63 @@ mod tests {
     #[should_panic(expected = "empty training set")]
     fn empty_training_set_panics() {
         let _ = Autoencoder::train(quick_config(4), &Matrix::zeros(0, 4));
+    }
+
+    #[test]
+    fn batched_score_rows_matches_per_row() {
+        let (benign, outliers) = synthetic(60, 13);
+        let model = Autoencoder::train(quick_config(benign.cols()), &benign);
+        let mut ws = Workspace::new();
+        for data in [&benign, &outliers] {
+            let batched = model.score_rows(data, &mut ws);
+            assert_eq!(batched.len(), data.rows());
+            for (i, s) in batched.iter().enumerate() {
+                let reference = model.score_row(&data.row_at(i));
+                assert!(
+                    (s - reference).abs() < 1e-5,
+                    "row {i}: batched {s} vs per-row {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_window_matches_score_row() {
+        let (benign, _) = synthetic(40, 17);
+        let model = Autoencoder::train(quick_config(benign.cols()), &benign);
+        let mut ws = Workspace::new();
+        for i in 0..benign.rows() {
+            let flat = benign.row_slice(i);
+            let hot = model.score_window(flat, &mut ws);
+            let reference = model.score_row(&benign.row_at(i));
+            assert!(
+                (hot - reference).abs() < 1e-5,
+                "row {i}: hot-path {hot} vs reference {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn steady_state_scoring_does_not_allocate() {
+        let (benign, _) = synthetic(40, 19);
+        let model = Autoencoder::train(quick_config(benign.cols()), &benign);
+        let mut ws = Workspace::new();
+        // Warm-up: buffers grow to the window shape once.
+        model.score_window(benign.row_slice(0), &mut ws);
+        let warm = ws.grow_events();
+        for i in 0..benign.rows() {
+            model.score_window(benign.row_slice(i), &mut ws);
+        }
+        assert_eq!(
+            ws.grow_events(),
+            warm,
+            "steady-state single-window scoring must not grow any buffer"
+        );
+        // The batched path over a same-width dataset warms independently,
+        // then also goes allocation-free.
+        model.score_rows(&benign, &mut ws);
+        let warm = ws.grow_events();
+        model.score_rows(&benign, &mut ws);
+        assert_eq!(ws.grow_events(), warm, "steady-state batched scoring grew a buffer");
     }
 }

@@ -28,6 +28,28 @@ impl Activation {
         }
     }
 
+    /// Applies the activation in place (the allocation-free inference path).
+    pub fn apply_inplace(self, data: &mut [f32]) {
+        match self {
+            Activation::Linear => {}
+            Activation::Relu => {
+                for v in data {
+                    *v = v.max(0.0);
+                }
+            }
+            Activation::Sigmoid => {
+                for v in data {
+                    *v = sigmoid(*v);
+                }
+            }
+            Activation::Tanh => {
+                for v in data {
+                    *v = v.tanh();
+                }
+            }
+        }
+    }
+
     /// Derivative expressed in terms of the *activated output* `y`.
     pub fn derivative_from_output(self, y: &Matrix) -> Matrix {
         match self {
@@ -91,6 +113,12 @@ pub struct Dense {
     adam_b: AdamState,
     #[serde(skip)]
     cache: Option<LayerCache>,
+    /// Lazily built `Wᵀ` for the single-row inference fast path: a row
+    /// vector times `Wᵀ` is one contiguous dot product per output, where
+    /// the row-major `W` walk would stride. Invalidated on every weight
+    /// update; rebuilt (one allocation) on the next inference call.
+    #[serde(skip)]
+    weights_t: std::sync::OnceLock<Matrix>,
 }
 
 #[derive(Debug, Clone)]
@@ -109,6 +137,7 @@ impl Dense {
             adam_w: AdamState::new(fan_in, fan_out),
             adam_b: AdamState::new(1, fan_out),
             cache: None,
+            weights_t: std::sync::OnceLock::new(),
         }
     }
 
@@ -125,6 +154,34 @@ impl Dense {
     /// Inference-only forward pass (no cache).
     pub fn forward(&self, x: &Matrix) -> Matrix {
         self.activation.apply(&x.matmul(&self.weights).add_row_broadcast(&self.bias))
+    }
+
+    /// Inference forward pass into a reusable buffer — no allocation once
+    /// `out` has capacity. Single rows take the transposed-weight GEMV
+    /// (contiguous dot products); batches take the blocked GEMM.
+    ///
+    /// Returns `true` when `out`'s buffer grew.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) -> bool {
+        let grew = if x.rows() == 1 {
+            let wt = self.weights_t.get_or_init(|| self.weights.transpose());
+            let grew = out.resize(1, self.fan_out());
+            let xs = x.row_slice(0);
+            for (n, o) in out.data_mut().iter_mut().enumerate() {
+                let w_row = wt.row_slice(n);
+                let mut acc = 0.0f32;
+                for (a, b) in xs.iter().zip(w_row) {
+                    acc += a * b;
+                }
+                *o = acc + self.bias.row_slice(0)[n];
+            }
+            grew
+        } else {
+            let grew = x.matmul_into(&self.weights, out);
+            out.add_row_inplace(&self.bias);
+            grew
+        };
+        self.activation.apply_inplace(out.data_mut());
+        grew
     }
 
     /// Training forward pass: caches activations for `backward`.
@@ -147,6 +204,8 @@ impl Dense {
         let grad_in = dz.matmul(&self.weights.transpose());
         self.adam_w.step(&mut self.weights, &grad_w, lr);
         self.adam_b.step(&mut self.bias, &grad_b, lr);
+        // The weights changed: drop the stale transposed copy.
+        self.weights_t = std::sync::OnceLock::new();
         grad_in
     }
 }
@@ -232,6 +291,36 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut layer = Dense::new(2, 2, Activation::Linear, &mut rng);
         layer.backward(&Matrix::row(vec![1.0, 1.0]), 0.01);
+    }
+
+    #[test]
+    fn forward_into_matches_forward_for_rows_and_batches() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let layer = Dense::new(6, 4, Activation::Relu, &mut rng);
+        let single = Matrix::row(vec![0.3, -0.2, 0.8, 0.0, 1.5, -0.7]);
+        let batch = Matrix::from_vec(
+            3,
+            6,
+            (0..18).map(|i| (i as f32 * 0.37).sin()).collect(),
+        );
+        let mut out = Matrix::default();
+        for x in [&single, &batch] {
+            layer.forward_into(x, &mut out);
+            let reference = layer.forward(x);
+            assert_eq!(out.rows(), reference.rows());
+            for (a, b) in out.data().iter().zip(reference.data()) {
+                assert!((a - b).abs() < 1e-5, "forward_into diverged: {a} vs {b}");
+            }
+        }
+        // After a weight update, the transposed cache must refresh.
+        let mut trained = layer.clone();
+        let y = trained.forward_train(&single);
+        trained.backward(&y.clone(), 0.1);
+        trained.forward_into(&single, &mut out);
+        let reference = trained.forward(&single);
+        for (a, b) in out.data().iter().zip(reference.data()) {
+            assert!((a - b).abs() < 1e-5, "stale transposed weights: {a} vs {b}");
+        }
     }
 
     #[test]

@@ -96,42 +96,51 @@ impl Featurizer {
     /// Encodes one record, updating relational state.
     pub fn encode_record(&mut self, r: &UeMobiFlow) -> Vec<f32> {
         let mut v = Vec::with_capacity(FEATURES_PER_RECORD);
+        self.encode_record_into(r, &mut v);
+        v
+    }
+
+    /// Encodes one record into a caller-owned buffer, updating relational
+    /// state. The buffer is cleared first; with a warm buffer this is the
+    /// allocation-free path the online detectors use.
+    pub fn encode_record_into(&mut self, r: &UeMobiFlow, v: &mut Vec<f32>) {
+        v.clear();
+        v.reserve(FEATURES_PER_RECORD);
 
         // Message one-hot. Identity-procedure messages are weighted: a
         // plaintext identity exchange is the security-critical rarity the
         // extraction attacks consist of, and one record must be able to
         // flag its window.
-        let mut msg = vec![0.0f32; MessageKind::vocabulary_size()];
         let msg_weight = match r.msg {
             MessageKind::NasIdentityRequest | MessageKind::NasIdentityResponse => {
                 IDENTITY_WEIGHT
             }
             _ => ROUTINE_WEIGHT,
         };
-        msg[r.msg.feature_index()] = msg_weight;
-        v.extend(msg);
+        v.resize(MessageKind::vocabulary_size(), 0.0);
+        v[r.msg.feature_index()] = msg_weight;
 
         // Direction.
         v.push(if r.direction.is_uplink() { ROUTINE_WEIGHT } else { 0.0 });
 
         // Cipher one-hot (slot 0 = not established); the NULL slot carries
         // extra weight so downgrades stand out of the MSE.
-        let mut cipher = [0.0f32; 5];
+        let base = v.len();
+        v.resize(base + 5, 0.0);
         let slot = r.cipher_alg.map(|c| c.code() as usize + 1).unwrap_or(0);
-        cipher[slot] = if slot == 1 { NULL_ALG_WEIGHT } else { ROUTINE_WEIGHT };
-        v.extend(cipher);
+        v[base + slot] = if slot == 1 { NULL_ALG_WEIGHT } else { ROUTINE_WEIGHT };
 
         // Integrity one-hot, same weighting.
-        let mut integrity = [0.0f32; 5];
+        let base = v.len();
+        v.resize(base + 5, 0.0);
         let slot = r.integrity_alg.map(|c| c.code() as usize + 1).unwrap_or(0);
-        integrity[slot] = if slot == 1 { NULL_ALG_WEIGHT } else { ROUTINE_WEIGHT };
-        v.extend(integrity);
+        v[base + slot] = if slot == 1 { NULL_ALG_WEIGHT } else { ROUTINE_WEIGHT };
 
         // Establishment cause one-hot.
-        let mut cause = [0.0f32; 8];
-        cause[r.establishment_cause.map(|c| c.code() as usize + 1).unwrap_or(0)] =
+        let base = v.len();
+        v.resize(base + 8, 0.0);
+        v[base + r.establishment_cause.map(|c| c.code() as usize + 1).unwrap_or(0)] =
             ROUTINE_WEIGHT;
-        v.extend(cause);
 
         // SUPI exposure (weighted: one bit must be able to flag a window).
         v.push(if r.supi.is_some() { IDENTITY_WEIGHT } else { 0.0 });
@@ -214,13 +223,12 @@ impl Featurizer {
         // Release cause one-hot: an abnormal teardown (radio-link failure of
         // an abandoned handshake, a network abort detaching a subscriber,
         // congestion shedding) is itself a security state parameter.
-        let mut release = [0.0f32; 5];
+        let base = v.len();
+        v.resize(base + 5, 0.0);
         let slot = r.release_cause.map(|c| c.code() as usize + 1).unwrap_or(0);
-        release[slot] = if slot >= 2 { NULL_ALG_WEIGHT } else { ROUTINE_WEIGHT };
-        v.extend(release);
+        v[base + slot] = if slot >= 2 { NULL_ALG_WEIGHT } else { ROUTINE_WEIGHT };
 
         debug_assert_eq!(v.len(), FEATURES_PER_RECORD);
-        v
     }
 
     /// Encodes a whole labeled stream into a windowed dataset.
@@ -352,6 +360,26 @@ mod tests {
         let mut enc = Featurizer::new();
         let v = enc.encode_record(&record(0, 0, 1, None));
         assert_eq!(v.len(), FEATURES_PER_RECORD);
+    }
+
+    #[test]
+    fn encode_record_into_reuses_buffer_and_matches() {
+        let mut enc_a = Featurizer::new();
+        let mut enc_b = Featurizer::new();
+        let mut buf = Vec::new();
+        for i in 0..40u64 {
+            let mut r = record(i, i * 700, (i % 3) as u32, Some((i % 5) as u32));
+            if i % 4 == 0 {
+                r.cipher_alg = Some(CipherAlg::Nea0);
+            }
+            let fresh = enc_a.encode_record(&r);
+            enc_b.encode_record_into(&r, &mut buf);
+            assert_eq!(fresh, buf, "record {i} diverged");
+        }
+        let cap = buf.capacity();
+        let r = record(99, 99_000, 1, None);
+        enc_b.encode_record_into(&r, &mut buf);
+        assert_eq!(buf.capacity(), cap, "warm buffer must not reallocate");
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //!   telemetry (the paper's categorical encoding), with the stateful
 //!   identifier-relation features that make group anomalies visible;
 //! * [`metrics`] — accuracy/precision/recall/F1 and the 99th-percentile
-//!   thresholding rule the paper uses.
+//!   thresholding rule the paper uses;
+//! * [`Workspace`] — reusable scratch buffers making steady-state inference
+//!   allocation-free, and [`FeatureRing`] — the flat per-stream window ring
+//!   the online detectors score from without rebuilding windows.
 //!
 //! All training is deterministic given a seed. Models serialize to JSON so
 //! the SMO can "deploy" them to xApps, as in Figure 3.
@@ -27,11 +30,15 @@ pub mod dense;
 pub mod featurize;
 pub mod lstm;
 pub mod metrics;
+pub mod ring;
 pub mod tensor;
+pub mod workspace;
 
 pub use autoencoder::{Autoencoder, AutoencoderConfig};
 pub use dense::{Activation, Dense};
 pub use featurize::{FeatureConfig, Featurizer, WindowedDataset, FEATURES_PER_RECORD};
 pub use lstm::{Lstm, LstmConfig};
 pub use metrics::{percentile, Confusion, Threshold};
+pub use ring::FeatureRing;
 pub use tensor::Matrix;
+pub use workspace::Workspace;

@@ -12,6 +12,7 @@
 use crate::dense::{sigmoid, Activation, Dense};
 use crate::metrics::percentile;
 use crate::tensor::Matrix;
+use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -140,8 +141,7 @@ impl Lstm {
                 model.train_step(&windows[k], &nexts[k]);
             }
         }
-        model.training_errors =
-            windows.iter().zip(nexts).map(|(w, n)| model.score(w, n)).collect();
+        model.training_errors = model.score_batch(windows, nexts, &mut Workspace::new());
         model
     }
 
@@ -234,13 +234,129 @@ impl Lstm {
     }
 
     /// Anomaly score: MSE between the prediction and the observed next.
+    ///
+    /// This is the allocation-heavy reference path; the hot paths use
+    /// [`Lstm::score_window`] / [`Lstm::score_batch`], which the parity
+    /// tests pin against it.
     pub fn score(&self, window: &Matrix, actual_next: &Matrix) -> f32 {
         self.predict(window).sub(actual_next).mean_sq()
     }
 
-    /// Scores every `(window, next)` pair.
+    /// Scores every `(window, next)` pair (batched — see [`Lstm::score_batch`]).
     pub fn score_all(&self, windows: &[Matrix], nexts: &[Matrix]) -> Vec<f32> {
-        windows.iter().zip(nexts).map(|(w, n)| self.score(w, n)).collect()
+        self.score_batch(windows, nexts, &mut Workspace::new())
+    }
+
+    /// One batched LSTM timestep: `ws.x` (`M × input_dim`) holds the step
+    /// input; `ws.h`/`ws.c` (`M × hidden`) are updated in place. The gate
+    /// pre-activations for all M sequences come from two GEMMs
+    /// (`x·W` and `h·U`) instead of 2·M GEMVs.
+    fn step_batched(&self, ws: &mut Workspace) {
+        let h_dim = self.config.hidden;
+        let rows = ws.x.rows();
+        let grew = ws.x.matmul_into(&self.w, &mut ws.z);
+        ws.note(grew);
+        ws.h.matmul_acc_into(&self.u, &mut ws.z);
+        ws.z.add_row_inplace(&self.b);
+        for m in 0..rows {
+            let (z, cbuf, hbuf) = (&ws.z, &mut ws.c, &mut ws.h);
+            let zrow = z.row_slice(m);
+            let crow = &mut cbuf.data_mut()[m * h_dim..(m + 1) * h_dim];
+            let hrow = &mut hbuf.data_mut()[m * h_dim..(m + 1) * h_dim];
+            for j in 0..h_dim {
+                let i = sigmoid(zrow[j]);
+                let f = sigmoid(zrow[h_dim + j]);
+                let g = zrow[2 * h_dim + j].tanh();
+                let o = sigmoid(zrow[3 * h_dim + j]);
+                let c = f * crow[j] + i * g;
+                crow[j] = c;
+                hrow[j] = o * c.tanh();
+            }
+        }
+    }
+
+    /// Scores M `(window, next)` pairs in one batched time loop: at each
+    /// step the M current input vectors are stacked into one matrix so the
+    /// gate pre-activations are two GEMMs, not 2·M GEMVs. All temporaries
+    /// live in the workspace. Entry `k` equals `score(&windows[k], &nexts[k])`
+    /// up to float-summation order.
+    ///
+    /// # Panics
+    /// If lengths disagree or the windows are ragged (different step counts).
+    pub fn score_batch(
+        &self,
+        windows: &[Matrix],
+        nexts: &[Matrix],
+        ws: &mut Workspace,
+    ) -> Vec<f32> {
+        assert_eq!(windows.len(), nexts.len(), "windows/nexts length mismatch");
+        if windows.is_empty() {
+            return Vec::new();
+        }
+        let d = self.config.input_dim;
+        let h_dim = self.config.hidden;
+        let m = windows.len();
+        let steps = windows[0].rows();
+        let grew = ws.h.resize(m, h_dim);
+        ws.note(grew);
+        ws.h.data_mut().fill(0.0);
+        let grew = ws.c.resize(m, h_dim);
+        ws.note(grew);
+        ws.c.data_mut().fill(0.0);
+        for t in 0..steps {
+            let grew = ws.x.resize(m, d);
+            ws.note(grew);
+            for (k, w) in windows.iter().enumerate() {
+                assert_eq!(w.rows(), steps, "ragged window batch");
+                ws.x.data_mut()[k * d..(k + 1) * d].copy_from_slice(w.row_slice(t));
+            }
+            self.step_batched(ws);
+        }
+        let grew = self.head.forward_into(&ws.h, &mut ws.a);
+        ws.note(grew);
+        (0..m)
+            .map(|k| {
+                let (pred, next) = (ws.a.row_slice(k), nexts[k].row_slice(0));
+                pred.iter().zip(next).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
+                    / d as f32
+            })
+            .collect()
+    }
+
+    /// Scores one flattened window (`steps · input_dim` floats) against the
+    /// observed `next` vector without building any `Matrix` — the
+    /// steady-state zero-allocation detection hot path.
+    ///
+    /// # Panics
+    /// If `window_flat` is not a whole number of steps or `next` has the
+    /// wrong width.
+    pub fn score_window(&self, window_flat: &[f32], next: &[f32], ws: &mut Workspace) -> f32 {
+        let d = self.config.input_dim;
+        assert_eq!(next.len(), d, "next-vector width mismatch");
+        assert!(
+            !window_flat.is_empty() && window_flat.len().is_multiple_of(d),
+            "window is not a whole number of {d}-wide steps"
+        );
+        let h_dim = self.config.hidden;
+        let grew = ws.h.resize(1, h_dim);
+        ws.note(grew);
+        ws.h.data_mut().fill(0.0);
+        let grew = ws.c.resize(1, h_dim);
+        ws.note(grew);
+        ws.c.data_mut().fill(0.0);
+        for step in window_flat.chunks_exact(d) {
+            let grew = ws.x.copy_from_flat(1, d, step);
+            ws.note(grew);
+            self.step_batched(ws);
+        }
+        let grew = self.head.forward_into(&ws.h, &mut ws.a);
+        ws.note(grew);
+        ws.a.row_slice(0)
+            .iter()
+            .zip(next)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / d as f32
     }
 
     /// Threshold at the given percentile of training errors.
@@ -392,5 +508,68 @@ mod tests {
     #[should_panic(expected = "empty training set")]
     fn empty_training_set_panics() {
         let _ = Lstm::train(quick_config(3), &[], &[]);
+    }
+
+    #[test]
+    fn batched_scoring_matches_per_window() {
+        let dim = 5;
+        let (windows, nexts) = cyclic_data(40, dim, 9);
+        let model = Lstm::train(
+            LstmConfig { epochs: 4, ..quick_config(dim) },
+            &windows,
+            &nexts,
+        );
+        let mut ws = Workspace::new();
+        let batched = model.score_batch(&windows, &nexts, &mut ws);
+        assert_eq!(batched.len(), windows.len());
+        for (k, s) in batched.iter().enumerate() {
+            let reference = model.score(&windows[k], &nexts[k]);
+            assert!(
+                (s - reference).abs() < 1e-5,
+                "pair {k}: batched {s} vs per-window {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn score_window_matches_score() {
+        let dim = 5;
+        let (windows, nexts) = cyclic_data(30, dim, 10);
+        let model = Lstm::train(
+            LstmConfig { epochs: 4, ..quick_config(dim) },
+            &windows,
+            &nexts,
+        );
+        let mut ws = Workspace::new();
+        for (w, n) in windows.iter().zip(&nexts) {
+            let hot = model.score_window(w.data(), n.data(), &mut ws);
+            let reference = model.score(w, n);
+            assert!(
+                (hot - reference).abs() < 1e-5,
+                "hot-path {hot} vs reference {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn steady_state_scoring_does_not_allocate() {
+        let dim = 4;
+        let (windows, nexts) = cyclic_data(20, dim, 11);
+        let model = Lstm::train(
+            LstmConfig { epochs: 2, ..quick_config(dim) },
+            &windows,
+            &nexts,
+        );
+        let mut ws = Workspace::new();
+        model.score_window(windows[0].data(), nexts[0].data(), &mut ws);
+        let warm = ws.grow_events();
+        for (w, n) in windows.iter().zip(&nexts) {
+            model.score_window(w.data(), n.data(), &mut ws);
+        }
+        assert_eq!(
+            ws.grow_events(),
+            warm,
+            "steady-state LSTM window scoring must not grow any buffer"
+        );
     }
 }

@@ -17,6 +17,13 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
+impl Default for Matrix {
+    /// An empty 0 × 0 matrix — the initial state of workspace buffers.
+    fn default() -> Self {
+        Matrix { rows: 0, cols: 0, data: Vec::new() }
+    }
+}
+
 impl Matrix {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -83,26 +90,147 @@ impl Matrix {
     /// # Panics
     /// If `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Resizes in place to `rows × cols`, reusing the existing allocation
+    /// when capacity allows. Element values after a resize are unspecified
+    /// (callers overwrite). Returns `true` when the backing buffer had to
+    /// grow — the signal [`crate::Workspace`] uses to prove steady-state
+    /// scoring is allocation-free.
+    pub fn resize(&mut self, rows: usize, cols: usize) -> bool {
+        let need = rows * cols;
+        let grew = need > self.data.capacity();
+        self.data.resize(need, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+        grew
+    }
+
+    /// Writes `self · rhs` into `out` (resized as needed), reusing `out`'s
+    /// allocation. The inner loop is blocked over the shared dimension so
+    /// the active slice of `rhs` stays cache-resident, and zero entries of
+    /// `self` are skipped (featurized windows are mostly zero).
+    ///
+    /// Returns `true` when `out`'s buffer grew.
+    ///
+    /// # Panics
+    /// If `self.cols != rhs.rows`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> bool {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue; // one-hot inputs are mostly zero
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
+        let grew = out.resize(self.rows, rhs.cols);
+        out.data.fill(0.0);
+        self.gemm_acc(rhs, out);
+        grew
+    }
+
+    /// Accumulates `self · rhs` into `out` (`out += self · rhs`).
+    ///
+    /// # Panics
+    /// If shapes disagree (`out` must already be `self.rows × rhs.cols`).
+    pub fn matmul_acc_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.cols),
+            "accumulator shape mismatch: {}x{} for a {}x{} product",
+            out.rows,
+            out.cols,
+            self.rows,
+            rhs.cols
+        );
+        self.gemm_acc(rhs, out);
+    }
+
+    /// The blocked i-k-j GEMM kernel behind both `matmul_into` variants.
+    /// Blocking over `k` keeps a `K_BLOCK × cols` panel of `rhs` hot in
+    /// cache while every output row streams through it; the `j` loop is a
+    /// contiguous saxpy the compiler vectorizes.
+    fn gemm_acc(&self, rhs: &Matrix, out: &mut Matrix) {
+        const K_BLOCK: usize = 64;
+        let n = rhs.cols;
+        for k0 in (0..self.cols).step_by(K_BLOCK) {
+            let k1 = (k0 + K_BLOCK).min(self.cols);
+            for i in 0..self.rows {
+                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (k, &a) in a_row.iter().enumerate().take(k1).skip(k0) {
+                    if a == 0.0 {
+                        continue; // one-hot inputs are mostly zero
+                    }
+                    let rhs_row = &rhs.data[k * n..(k + 1) * n];
+                    for (o, b) in out_row.iter_mut().zip(rhs_row) {
+                        *o += a * b;
+                    }
                 }
             }
         }
-        out
+    }
+
+    /// Copies another matrix into this one, reusing the allocation.
+    /// Returns `true` when the buffer grew.
+    pub fn copy_from(&mut self, src: &Matrix) -> bool {
+        let grew = self.resize(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+        grew
+    }
+
+    /// Fills this matrix from a flat row-major slice, reusing the
+    /// allocation. Returns `true` when the buffer grew.
+    ///
+    /// # Panics
+    /// If `flat.len() != rows * cols`.
+    pub fn copy_from_flat(&mut self, rows: usize, cols: usize, flat: &[f32]) -> bool {
+        assert_eq!(flat.len(), rows * cols, "flat slice is not {rows}x{cols}");
+        let grew = self.resize(rows, cols);
+        self.data.copy_from_slice(flat);
+        grew
+    }
+
+    /// Adds a row vector to every row in place (bias add).
+    ///
+    /// # Panics
+    /// If `bias` is not `1 × self.cols`.
+    pub fn add_row_inplace(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (o, b) in row.iter_mut().zip(&bias.data) {
+                *o += b;
+            }
+        }
+    }
+
+    /// The flat row-major slice of row `r` (no copy).
+    #[inline]
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies rows `start..end` into a new matrix (one contiguous memcpy).
+    /// An empty range yields a `0 × cols` matrix, so callers can slice
+    /// around a fold that sits at either edge.
+    ///
+    /// # Panics
+    /// If the range is out of bounds or reversed.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "bad row range {start}..{end}");
+        Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
     }
 
     /// Transpose.
@@ -179,17 +307,18 @@ impl Matrix {
         Matrix::row(self.data[r * self.cols..(r + 1) * self.cols].to_vec())
     }
 
-    /// Stacks row vectors into one matrix. Panics if widths differ.
+    /// Stacks matrices (row vectors or multi-row blocks) vertically into
+    /// one matrix. Panics if widths differ.
     pub fn stack_rows(rows: &[Matrix]) -> Matrix {
         assert!(!rows.is_empty(), "cannot stack zero rows");
         let cols = rows[0].cols;
-        let mut data = Vec::with_capacity(rows.len() * cols);
+        let total: usize = rows.iter().map(|r| r.rows).sum();
+        let mut data = Vec::with_capacity(total * cols);
         for r in rows {
-            assert_eq!(r.rows, 1, "stack_rows expects row vectors");
             assert_eq!(r.cols, cols, "row width mismatch");
             data.extend_from_slice(&r.data);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix { rows: total, cols, data }
     }
 
     fn zip(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
@@ -288,5 +417,56 @@ mod tests {
         let json = serde_json::to_string(&a).unwrap();
         let back: Matrix = serde_json::from_str(&json).unwrap();
         assert_eq!(a, back);
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_and_reuses_capacity() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Matrix::xavier(70, 130, &mut rng); // spans multiple k-blocks
+        let b = Matrix::xavier(130, 40, &mut rng);
+        let mut out = Matrix::default();
+        assert!(a.matmul_into(&b, &mut out), "first call must allocate");
+        assert_eq!(out, a.matmul(&b));
+        // Steady state: same shapes reuse the buffer.
+        assert!(!a.matmul_into(&b, &mut out), "second call must not grow");
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_acc_accumulates() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let mut out = Matrix::zeros(2, 2);
+        a.matmul_into(&b, &mut out);
+        a.matmul_acc_into(&b, &mut out);
+        assert_eq!(out.data(), &[116.0, 128.0, 278.0, 308.0]);
+    }
+
+    #[test]
+    fn inplace_bias_matches_broadcast() {
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let bias = Matrix::row(vec![10.0, 20.0]);
+        let mut y = x.clone();
+        y.add_row_inplace(&bias);
+        assert_eq!(y, x.add_row_broadcast(&bias));
+    }
+
+    #[test]
+    fn row_slice_and_slice_rows() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.row_slice(1), &[3.0, 4.0]);
+        let mid = a.slice_rows(1, 3);
+        assert_eq!(mid.rows(), 2);
+        assert_eq!(mid.data(), &[3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn copy_from_flat_round_trips() {
+        let mut m = Matrix::default();
+        assert!(m.copy_from_flat(2, 2, &[1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(m.get(1, 0), 3.0);
+        assert!(!m.copy_from_flat(1, 4, &[9.0, 8.0, 7.0, 6.0]), "reshape reuses capacity");
+        assert_eq!(m.rows(), 1);
+        assert_eq!(m.row_slice(0), &[9.0, 8.0, 7.0, 6.0]);
     }
 }
