@@ -5,6 +5,7 @@
 
 use sixg_xsec::pipeline::{ClosedLoopOutcome, Pipeline, PipelineConfig};
 use xsec_attacks::{attack_simulator, BtsDosConfig, BtsDosUe};
+use xsec_control::default_rules;
 use xsec_ran::amf::SubscriberRecord;
 use xsec_ran::scenario::{Scenario, ScenarioConfig};
 use xsec_ran::sim::RanSimulator;
@@ -46,6 +47,10 @@ fn render(name: &str, baseline_attack: usize, closed: &ClosedLoopOutcome) -> Str
     text.push_str(&format!(
         "  actions: {} issued, {} acked, {} failed, {} expired, {} exhausted, {} supervised\n",
         m.issued, m.acked, m.failed, m.expired, m.exhausted, m.supervised,
+    ));
+    text.push_str(&format!(
+        "  A1 policy ops: {} applied, {} superseded, {} rejected\n",
+        m.policy_ops.applied, m.policy_ops.superseded, m.policy_ops.rejected,
     ));
     for (at, action) in &closed.enforced {
         text.push_str(&format!(
@@ -91,7 +96,25 @@ fn main() {
 
     xsec_obs::info!(obs, "mitigate", "closed loop: BTS DoS flood ...");
     let baseline = flood_sim(31, sessions, connections).run();
-    let closed = pipeline.run_closed_loop(flood_sim(31, sessions, connections));
+    // Runtime rule install over A1: before the flood starts, the SMO hook
+    // stretches the BTS DoS playbook's TTL from 10 s to 12 s on the live
+    // mitigator — the enforced actions below carry the swapped TTL.
+    let mut swapped = false;
+    let closed = pipeline.run_closed_loop_with(
+        flood_sim(31, sessions, connections),
+        |_, _, a1| {
+            if !swapped {
+                swapped = true;
+                let mut rule = default_rules()
+                    .into_iter()
+                    .find(|r| r.id == "bts-dos")
+                    .expect("shipped bts-dos rule");
+                rule.ttl = Duration::from_secs(12);
+                a1.update(rule);
+                a1.query_status();
+            }
+        },
+    );
     text.push_str(&render(
         "BTS DoS (sustained RRC flood)",
         baseline.attack_events().count(),

@@ -132,18 +132,41 @@ fn establishment_cause_from_code(code: u8) -> Result<EstablishmentCause> {
         .ok_or_else(|| err(format!("unknown establishment cause code {code}")))
 }
 
-fn put_tlv(buf: &mut BytesMut, tag: u8, value: &[u8]) {
+/// Longest value one TLV can carry: its length field is a `u16`.
+pub const MAX_TLV_VALUE_LEN: usize = u16::MAX as usize;
+
+fn put_tlv(buf: &mut BytesMut, tag: u8, value: &[u8]) -> Result<()> {
+    // A value longer than the length field can express would silently
+    // truncate `value.len() as u16` and corrupt the frame for every
+    // following TLV; refuse before writing anything.
+    if value.len() > MAX_TLV_VALUE_LEN {
+        return Err(err(format!(
+            "TLV value for tag {tag:#04x} is {} bytes; max is {MAX_TLV_VALUE_LEN}",
+            value.len()
+        )));
+    }
     buf.put_u8(tag);
     buf.put_u16(value.len() as u16);
     buf.put_slice(value);
+    Ok(())
 }
 
 impl ControlAction {
     /// Encodes the action into a Control Request payload (TLV sequence).
+    ///
+    /// Infallible for every [`MitigationAction`] variant (their bodies are
+    /// tiny fixed layouts); kept as the ergonomic entry point.
+    /// [`ControlAction::try_encode`] is the checked form.
     pub fn encode(&self) -> Vec<u8> {
+        self.try_encode().expect("fixed-layout action bodies fit a u16 TLV length")
+    }
+
+    /// Encodes the action, reporting a typed error if any TLV value would
+    /// overflow the `u16` length field.
+    pub fn try_encode(&self) -> Result<Vec<u8>> {
         let mut buf = BytesMut::with_capacity(32);
-        put_tlv(&mut buf, TAG_ACTION_ID, &self.id.to_be_bytes());
-        put_tlv(&mut buf, TAG_TTL, &self.ttl.as_micros().to_be_bytes());
+        put_tlv(&mut buf, TAG_ACTION_ID, &self.id.to_be_bytes())?;
+        put_tlv(&mut buf, TAG_TTL, &self.ttl.as_micros().to_be_bytes())?;
         let mut body = BytesMut::with_capacity(16);
         let tag = match &self.action {
             MitigationAction::ReleaseUe { conn, cause } => {
@@ -170,8 +193,8 @@ impl ControlAction {
                 TAG_RATE_LIMIT_CAUSE
             }
         };
-        put_tlv(&mut buf, tag, &body);
-        buf.to_vec()
+        put_tlv(&mut buf, tag, &body)?;
+        Ok(buf.to_vec())
     }
 
     /// Decodes a Control Request payload back into an action.
@@ -339,6 +362,32 @@ mod tests {
         // Strip the body TLV: header-only payloads are incomplete.
         let header_only = &action.encode()[..7 + 11]; // id TLV (7) + ttl TLV (11)
         assert!(ControlAction::decode(header_only).is_err(), "missing body accepted");
+    }
+
+    #[test]
+    fn tlv_length_boundary_is_exact() {
+        // Regression: `value.len() as u16` used to truncate silently, so a
+        // 65536-byte value encoded a zero length and corrupted the frame.
+        let mut buf = BytesMut::new();
+        let max = vec![0xAB; MAX_TLV_VALUE_LEN];
+        put_tlv(&mut buf, 0x55, &max).unwrap();
+        assert_eq!(buf.len(), 3 + MAX_TLV_VALUE_LEN);
+        assert_eq!(&buf[..3], &[0x55, 0xFF, 0xFF], "length field must be 0xFFFF");
+
+        let mut buf = BytesMut::new();
+        let over = vec![0xAB; MAX_TLV_VALUE_LEN + 1];
+        let e = put_tlv(&mut buf, 0x55, &over).unwrap_err();
+        assert_eq!(e.category(), "codec");
+        assert!(buf.is_empty(), "rejected TLV must not leave partial bytes");
+    }
+
+    #[test]
+    fn try_encode_succeeds_for_every_action_shape() {
+        for action in samples() {
+            let bytes = action.try_encode().unwrap();
+            assert_eq!(bytes, action.encode());
+            assert_eq!(ControlAction::decode(&bytes).unwrap(), action);
+        }
     }
 
     #[test]

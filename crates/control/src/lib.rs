@@ -14,20 +14,29 @@
 //!                                           └─── ControlAck ◄───┘
 //! ```
 //!
-//! Three pieces: [`MitigationAction`]/[`ControlAction`] — the typed action
+//! Four pieces: [`MitigationAction`]/[`ControlAction`] — the typed action
 //! vocabulary with a strict TLV wire codec; [`PolicyEngine`] — the
 //! rule table mapping detections to actions, with a human-supervision gate
 //! for anything below the autonomy bar; [`ActionExecutor`] — delivery
-//! tracking with FIFO ack correlation, retries, and TTL expiry.
+//! tracking with FIFO ack correlation, retries, and TTL expiry; and the
+//! [`a1`] module — A1-style runtime policy management ([`PolicyType`]
+//! schemas, the versioned [`PolicyStore`], and the [`A1Request`] /
+//! [`A1Response`] message API the SMO drives mid-run).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod a1;
 pub mod action;
 pub mod executor;
 pub mod policy;
 
-pub use action::{ControlAction, MitigationAction};
+pub use a1::{
+    default_policy_document, default_policy_types, A1OpTally, A1Request, A1Response, Installed,
+    PolicyDocument, PolicyOpOutcome, PolicyStore, PolicyType, PolicyValidation, RuleStatus,
+    StoredRule, TemplateKind,
+};
+pub use action::{ControlAction, MitigationAction, MAX_TLV_VALUE_LEN};
 pub use executor::{AckResolution, ActionExecutor, ActionState, ExecutorConfig, TrackedAction};
 pub use policy::{
     attack_from_title, default_rules, ActionTemplate, PolicyDecision, PolicyEngine, PolicyRule,

@@ -59,4 +59,4 @@ pub use mitigator::{FindingNotice, MitigationSummary, Mitigator, MitigatorState}
 pub use mobiwatch::{Detector, MobiWatch, MobiWatchConfig};
 pub use shard::ShardedMobiWatch;
 pub use pipeline::{ClosedLoopOutcome, Pipeline, PipelineConfig, PipelineOutcome};
-pub use smo::{DeployedModels, Smo, TrainingConfig};
+pub use smo::{A1PolicyClient, DeployedModels, Smo, TrainingConfig};

@@ -7,13 +7,18 @@
 //! RAN. Ack outcomes return on the platform's `control-acks` topic, closing
 //! the delivery loop; telemetry windows provide the virtual clock that
 //! paces retries and TTL expiry.
+//!
+//! The playbooks themselves are live: A1 policy operations arriving on the
+//! `a1-policies` topic are applied to the engine's [`xsec_control::PolicyStore`]
+//! mid-run (install / update / delete / enable-disable), answered on
+//! `a1-policy-status`, and tallied into `xsec_a1_policy_ops_total{op,outcome}`.
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use xsec_control::{
-    attack_from_title, ActionExecutor, ActionState, PolicyDecision, PolicyEngine,
-    SupervisionTicket, ThreatAssessment,
+    attack_from_title, A1OpTally, A1Request, ActionExecutor, ActionState, PolicyDecision,
+    PolicyEngine, SupervisionTicket, ThreatAssessment,
 };
 use xsec_mobiflow::{decode_ue_record, UeMobiFlow};
 use xsec_obs::Obs;
@@ -28,6 +33,13 @@ pub const FINDINGS_TOPIC: &str = "findings";
 
 /// Topic the platform relays Control Ack outcomes on.
 pub const CONTROL_ACKS_TOPIC: &str = "control-acks";
+
+/// Topic the SMO publishes A1 policy operations ([`A1Request`] JSON) on.
+pub const A1_POLICY_TOPIC: &str = "a1-policies";
+
+/// Topic the mitigator answers A1 operations on
+/// ([`xsec_control::A1Response`] JSON).
+pub const A1_POLICY_STATUS_TOPIC: &str = "a1-policy-status";
 
 /// The analyzer's conclusion about one alert, serialized for the router.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -67,6 +79,8 @@ pub struct MitigationSummary {
     pub exhausted: usize,
     /// Findings escalated to the human-supervision queue.
     pub supervised: usize,
+    /// A1 policy operations the run consumed, by enforcement outcome.
+    pub policy_ops: A1OpTally,
     /// Virtual detection→ack latencies, one per acked action (µs).
     pub detection_to_ack_us: Vec<u64>,
 }
@@ -99,6 +113,8 @@ pub struct MitigatorState {
     pub policy: PolicyEngine,
     /// Findings the engine refused to act on autonomously.
     pub supervised: Vec<SupervisionTicket>,
+    /// A1 policy operations consumed so far, by enforcement outcome.
+    pub a1_ops: A1OpTally,
     /// Virtual clock (latest telemetry window end / finding time seen).
     pub clock: Timestamp,
 }
@@ -109,6 +125,7 @@ impl MitigatorState {
         let mut summary = MitigationSummary {
             supervised: self.supervised.len(),
             issued: self.executor.outcomes().len(),
+            policy_ops: self.a1_ops,
             ..MitigationSummary::default()
         };
         for tracked in self.executor.outcomes() {
@@ -151,6 +168,7 @@ impl Mitigator {
             executor: ActionExecutor::default(),
             policy,
             supervised: Vec::new(),
+            a1_ops: A1OpTally::default(),
             clock: Timestamp::ZERO,
         }));
         (Mitigator { state: state.clone(), obs }, state)
@@ -288,6 +306,24 @@ impl XApp for Mitigator {
                     return;
                 };
                 self.handle_finding(ctx, &notice);
+            }
+            A1_POLICY_TOPIC => {
+                let Ok(request) = serde_json::from_slice::<A1Request>(payload) else {
+                    return;
+                };
+                let mut state = self.state.lock();
+                let response = state.policy.apply(&request);
+                state.a1_ops.record(response.outcome);
+                self.obs
+                    .counter(
+                        "xsec_a1_policy_ops_total",
+                        &[("op", request.op()), ("outcome", response.outcome.label())],
+                    )
+                    .inc();
+                drop(state);
+                if let Ok(json) = serde_json::to_vec(&response) {
+                    ctx.publish(A1_POLICY_STATUS_TOPIC, &json);
+                }
             }
             CONTROL_ACKS_TOPIC => {
                 let Some(&flag) = payload.first() else { return };
@@ -441,6 +477,56 @@ mod tests {
         let summary = state.lock().summary();
         assert_eq!((summary.issued, summary.acked, summary.failed), (3, 2, 1));
         assert_eq!(summary.detection_to_ack_us.len(), 2);
+    }
+
+    #[test]
+    fn a1_requests_mutate_the_live_policy_and_answer_on_status_topic() {
+        let obs = Obs::new();
+        let (mut mitigator, state) = Mitigator::with_obs(PolicyEngine::default(), obs.clone());
+        let sdl = xsec_ric::SharedDataLayer::new();
+        let router = xsec_ric::Router::new();
+        let status_rx = router.subscribe(A1_POLICY_STATUS_TOPIC);
+        let mut control = Vec::new();
+        let mut ctx =
+            xsec_ric::XAppContext { sdl: &sdl, router: &router, control_out: &mut control };
+
+        // Swap the null-cipher playbook to quarantine, then query.
+        let mut rule = xsec_control::default_rules()
+            .into_iter()
+            .find(|r| r.id == "null-cipher")
+            .unwrap();
+        rule.templates = vec![xsec_control::ActionTemplate::QuarantineCell];
+        let update = A1Request::UpdatePolicy { rule };
+        mitigator.on_message(&mut ctx, A1_POLICY_TOPIC, &serde_json::to_vec(&update).unwrap());
+        let query = A1Request::QueryStatus;
+        mitigator.on_message(&mut ctx, A1_POLICY_TOPIC, &serde_json::to_vec(&query).unwrap());
+
+        let first: xsec_control::A1Response =
+            serde_json::from_slice(&status_rx.try_recv().unwrap()).unwrap();
+        assert_eq!(first.outcome, xsec_control::PolicyOpOutcome::Superseded);
+        assert_eq!((first.op.as_str(), first.version), ("update", 2));
+        let second: xsec_control::A1Response =
+            serde_json::from_slice(&status_rx.try_recv().unwrap()).unwrap();
+        assert_eq!(second.status.len(), 5);
+
+        // The very next detection uses the swapped rule.
+        let mut tainted = record(2, 0x4602, MessageKind::NasRegistrationAccept);
+        tainted.cipher_alg = Some(CipherAlg::Nea0);
+        let n = notice(
+            vec!["Security capability bidding-down (null cipher & integrity)".into()],
+            &[tainted],
+        );
+        mitigator.on_message(&mut ctx, FINDINGS_TOPIC, &serde_json::to_vec(&n).unwrap());
+        assert_eq!(control.len(), 1);
+        assert!(matches!(
+            ControlAction::decode(&control[0].payload).unwrap().action,
+            MitigationAction::QuarantineCell { .. }
+        ));
+
+        let summary = state.lock().summary();
+        assert_eq!(summary.policy_ops.superseded, 1);
+        assert_eq!(summary.policy_ops.applied, 1);
+        assert_eq!(obs.snapshot().counter_total("xsec_a1_policy_ops_total"), 2);
     }
 
     #[test]

@@ -7,9 +7,11 @@
 //! the outcome is evaluated against ground truth.
 
 use crate::analyzer::{AnalyzerFinding, LlmAnalyzer};
-use crate::mitigator::{MitigationSummary, Mitigator, CONTROL_ACKS_TOPIC, FINDINGS_TOPIC};
+use crate::mitigator::{
+    MitigationSummary, Mitigator, A1_POLICY_TOPIC, CONTROL_ACKS_TOPIC, FINDINGS_TOPIC,
+};
 use crate::mobiwatch::{Detector, MobiWatch, MobiWatchConfig};
-use crate::smo::{DeployedModels, Smo, TrainingConfig};
+use crate::smo::{A1PolicyClient, DeployedModels, Smo, TrainingConfig};
 use xsec_attacks::DatasetBuilder;
 use xsec_control::{ControlAction, PolicyEngine};
 use xsec_dl::{Confusion, FeatureConfig, Featurizer};
@@ -222,7 +224,8 @@ impl Pipeline {
             Box::new(mitigator),
             SubscriptionSpec::telemetry(self.config.report_period_ms)
                 .with_topic(FINDINGS_TOPIC)
-                .with_topic(CONTROL_ACKS_TOPIC),
+                .with_topic(CONTROL_ACKS_TOPIC)
+                .with_topic(A1_POLICY_TOPIC),
         );
 
         // Handshake.
@@ -270,11 +273,27 @@ impl Pipeline {
     /// and every Control Request the mitigator ships is decoded and applied
     /// to the simulated gNB mid-run, so mitigation changes the traffic the
     /// rest of the run produces.
-    pub fn run_closed_loop(&self, mut sim: RanSimulator) -> ClosedLoopOutcome {
+    pub fn run_closed_loop(&self, sim: RanSimulator) -> ClosedLoopOutcome {
+        self.run_closed_loop_with(sim, |_, _, _| {})
+    }
+
+    /// [`Pipeline::run_closed_loop`] with an SMO-side hook in the loop.
+    ///
+    /// The hook runs at the end of every report bucket with the bucket's
+    /// closing virtual time, the actions enforced so far, and a live
+    /// [`A1PolicyClient`] — so a run can hot-swap policy rules between
+    /// detections (the operation reaches the mitigator on the next pump)
+    /// and observe the Control Actions change.
+    pub fn run_closed_loop_with(
+        &self,
+        mut sim: RanSimulator,
+        mut smo_hook: impl FnMut(Timestamp, &[(Timestamp, ControlAction)], &A1PolicyClient),
+    ) -> ClosedLoopOutcome {
         let mut d = self.deploy();
         // The RAN side records into the same registry, so the snapshot
         // spans detection *and* enforcement.
         sim.attach_obs(&d.obs);
+        let a1 = A1PolicyClient::new(d.platform.router());
 
         let period = Duration::from_millis(u64::from(self.config.report_period_ms));
         let horizon = Timestamp::ZERO + sim.config().horizon;
@@ -306,6 +325,7 @@ impl Pipeline {
             }
             // Relay the acks back onto the mitigator's topic.
             d.platform.pump().expect("pump");
+            smo_hook(bucket_end, &enforced, &a1);
             bucket_end += period;
         }
 

@@ -5,8 +5,17 @@
 //! and trained models are deployed into the MobiWatch xApp. [`Smo::train`]
 //! is that offline job: benign telemetry in, serialized [`DeployedModels`]
 //! out.
+//!
+//! The SMO also owns the A1 side of runtime policy governance:
+//! [`A1PolicyClient`] speaks the A1-flavoured message API to the live
+//! mitigation xApp over the platform router, so playbooks can be installed,
+//! replaced, disabled, or withdrawn mid-run without redeploying anything.
 
+use crate::mitigator::{A1_POLICY_STATUS_TOPIC, A1_POLICY_TOPIC};
+use crossbeam_channel::Receiver;
 use serde::{Deserialize, Serialize};
+use xsec_control::{A1Request, A1Response, PolicyRule};
+use xsec_ric::Router;
 use xsec_dl::{
     Autoencoder, AutoencoderConfig, FeatureConfig, Featurizer, Lstm, LstmConfig, Threshold,
     Workspace, FEATURES_PER_RECORD,
@@ -71,6 +80,71 @@ impl DeployedModels {
     /// Loads a shipped artifact.
     pub fn from_json(json: &str) -> Result<Self> {
         serde_json::from_str(json).map_err(|e| XsecError::Model(e.to_string()))
+    }
+}
+
+/// The SMO's handle on the near-RT RIC's live policy store: an A1-flavoured
+/// message client over the platform router.
+///
+/// Requests are JSON [`A1Request`]s published on the `a1-policies` topic;
+/// the mitigation xApp consumes them on its next pump, applies them to its
+/// [`xsec_control::PolicyStore`], and answers with an [`A1Response`] on the
+/// `a1-policy-status` topic, which [`A1PolicyClient::drain_responses`]
+/// collects.
+pub struct A1PolicyClient {
+    router: Router,
+    responses: Receiver<Vec<u8>>,
+}
+
+impl A1PolicyClient {
+    /// A client over the platform's router
+    /// ([`xsec_ric::RicPlatform::router`]).
+    pub fn new(router: Router) -> Self {
+        let responses = router.subscribe(A1_POLICY_STATUS_TOPIC);
+        A1PolicyClient { router, responses }
+    }
+
+    /// Publishes one A1 operation; returns how many mailboxes accepted it
+    /// (0 means no mitigator is subscribed yet).
+    pub fn send(&self, request: &A1Request) -> usize {
+        let json = serde_json::to_vec(request).expect("A1 requests serialize");
+        self.router.publish(A1_POLICY_TOPIC, &json)
+    }
+
+    /// Installs a rule (supersedes an existing rule with the same id).
+    pub fn create(&self, rule: PolicyRule) -> usize {
+        self.send(&A1Request::CreatePolicy { rule })
+    }
+
+    /// Replaces an installed rule in place.
+    pub fn update(&self, rule: PolicyRule) -> usize {
+        self.send(&A1Request::UpdatePolicy { rule })
+    }
+
+    /// Removes an installed rule.
+    pub fn delete(&self, id: &str) -> usize {
+        self.send(&A1Request::DeletePolicy { id: id.to_string() })
+    }
+
+    /// Toggles a rule without removing it.
+    pub fn set_enabled(&self, id: &str, enabled: bool) -> usize {
+        self.send(&A1Request::SetEnabled { id: id.to_string(), enabled })
+    }
+
+    /// Asks for the live rule inventory.
+    pub fn query_status(&self) -> usize {
+        self.send(&A1Request::QueryStatus)
+    }
+
+    /// Drains every A1 answer that has arrived since the last call.
+    pub fn drain_responses(&self) -> Vec<A1Response> {
+        let mut out = Vec::new();
+        while let Ok(payload) = self.responses.try_recv() {
+            if let Ok(response) = serde_json::from_slice::<A1Response>(&payload) {
+                out.push(response);
+            }
+        }
+        out
     }
 }
 
