@@ -26,6 +26,7 @@ pub mod blind_dos;
 pub mod bts_dos;
 pub mod dataset;
 pub mod id_extraction;
+pub mod migrate;
 pub mod null_cipher;
 mod wrap;
 
@@ -33,4 +34,5 @@ pub use blind_dos::{BlindDosUe, TmsiSniffer};
 pub use bts_dos::{BtsDosConfig, BtsDosUe};
 pub use dataset::{attack_simulator, AttackDataset, DatasetBuilder};
 pub use id_extraction::{DownlinkIdExtractor, UplinkIdExtractor};
+pub use migrate::{MigrateConfig, MigratingFloodUe, MigrationSchedule};
 pub use null_cipher::NullCipherMitm;

@@ -218,12 +218,24 @@ fn ship_due(state: &mut MitigatorState, now: Timestamp, ctx: &mut XAppContext<'_
 /// connection in the window.
 pub fn assess(notice: &FindingNotice, records: &[UeMobiFlow]) -> ThreatAssessment {
     let attack = notice.attacks.iter().find_map(|t| attack_from_title(t));
+    let llm_confirmed = notice.confirmed && !notice.needs_human;
     // score/threshold ≥ 1 whenever the detector flagged; squash the excess
     // into [0, 1): barely-over-threshold ≈ 0, a 5× clearance ≈ 0.8.
-    let confidence = if notice.score > 0.0 {
+    let margin = if notice.score > 0.0 {
         (1.0 - notice.threshold / notice.score).clamp(0.0, 1.0)
     } else {
         0.0
+    };
+    // The margin is one detector's opinion of one window; the LLM verdict is
+    // an independent read of the surrounding stream. When the cross-check
+    // confirms a *named* attack, that corroboration dominates a thin margin
+    // — per-UE windows structurally compress clearance during floods (each
+    // fabricated connection looks near-benign in isolation, the storm only
+    // shows in the shared context), yet the combined evidence is strong.
+    let confidence = if llm_confirmed && attack.is_some() {
+        margin.max(0.75)
+    } else {
+        margin
     };
     let cell = records.first().map_or(CellId(0), |r| r.cell);
 
@@ -255,7 +267,7 @@ pub fn assess(notice: &FindingNotice, records: &[UeMobiFlow]) -> ThreatAssessmen
     ThreatAssessment {
         attack,
         confidence,
-        llm_confirmed: notice.confirmed && !notice.needs_human,
+        llm_confirmed,
         detected_at: notice.at_time,
         cell,
         suspect_conns,

@@ -17,9 +17,10 @@ use xsec_control::{ControlAction, PolicyEngine};
 use xsec_dl::{Confusion, FeatureConfig, Featurizer};
 use xsec_e2::{in_proc_pair, InProcTransport, RicAgent, RicAgentConfig};
 use xsec_llm::{ModelPersonality, SimulatedExpert};
-use xsec_mobiflow::{extract_from_events, TelemetryStream};
+use xsec_mobiflow::{extract_from_events, extract_from_events_at, TelemetryStream};
 use xsec_obs::{Obs, Snapshot};
 use xsec_ran::sim::{RanSimulator, SimReport};
+use xsec_ran::stream::{StreamStats, StreamingScenario};
 use xsec_ric::{RicPlatform, SubscriptionSpec};
 use xsec_types::{AttackKind, CellId, Duration, GnbId, Timestamp};
 
@@ -121,6 +122,20 @@ pub struct ClosedLoopOutcome {
     pub enforced: Vec<(Timestamp, ControlAction)>,
 }
 
+/// What a streaming closed-loop run produced: the RIC-side outcome, the
+/// generator's counters, the enforced actions, and the engine itself (so
+/// callers can interrogate per-cell gNB statistics after the run).
+pub struct StreamingOutcome {
+    /// The RIC-side outcome (detections, findings, mitigation summary).
+    pub outcome: PipelineOutcome,
+    /// Generator counters (UEs streamed, handovers, storms, peak live).
+    pub stats: StreamStats,
+    /// Control actions routed back into the deployment, in arrival order.
+    pub enforced: Vec<(Timestamp, ControlAction)>,
+    /// The drained engine, for per-cell post-mortems.
+    pub engine: StreamingScenario,
+}
+
 /// A trained, deployable pipeline.
 pub struct Pipeline {
     config: PipelineConfig,
@@ -148,6 +163,18 @@ impl Pipeline {
         let benign = DatasetBuilder::small(config.seed, config.benign_sessions).benign();
         let stream = extract_from_events(&benign.events);
         let models = Smo::train(&config.training, &stream).expect("training succeeds");
+        Pipeline { config, models }
+    }
+
+    /// Trains the detectors on a caller-provided benign stream instead of
+    /// the built-in collection scenario. Streaming deployments use this so
+    /// the training distribution matches what the generator produces
+    /// (multi-cell interleave, handover re-registrations, storms) — models
+    /// trained on the single-cell collection flag that traffic wholesale.
+    pub fn train_on(config: &PipelineConfig, stream: &TelemetryStream) -> Self {
+        let mut config = config.clone();
+        config.training.window = config.detector_window;
+        let models = Smo::train(&config.training, stream).expect("training succeeds");
         Pipeline { config, models }
     }
 
@@ -334,6 +361,61 @@ impl Pipeline {
         ClosedLoopOutcome { outcome, report: sim.finish(), enforced }
     }
 
+    /// Runs the closed loop against a *streaming* multi-cell scenario: the
+    /// engine generates (and retires) UEs lazily, each report bucket's
+    /// merged events flow through agent → E2 → platform → xApps, and every
+    /// Control Request is decoded and routed back to the cell(s) it
+    /// concerns — so detections in one cell change what that cell admits
+    /// while the others keep serving.
+    ///
+    /// The loop ends when the engine drains (plus a few grace buckets for
+    /// in-flight detections) or `max_virtual` elapses, whichever is first.
+    /// Evaluation keeps the whole labeled stream in memory — use the soak
+    /// harness, which drains state per batch, for memory-ceiling runs.
+    pub fn run_streaming(
+        &self,
+        mut engine: StreamingScenario,
+        max_virtual: Duration,
+    ) -> StreamingOutcome {
+        let mut d = self.deploy();
+        let period = Duration::from_millis(u64::from(self.config.report_period_ms));
+        let hard_stop = Timestamp::ZERO + max_virtual;
+        let mut bucket_end = Timestamp::ZERO + period;
+        let mut full = TelemetryStream::default();
+        let mut enforced = Vec::new();
+        let mut grace = 0;
+        while grace < 4 && bucket_end <= hard_stop {
+            let events = engine.step(bucket_end);
+            let chunk = extract_from_events_at(&events, full.records.len() as u64);
+            for record in &chunk.records {
+                d.agent.push_record(record.clone());
+            }
+            full.records.extend(chunk.records);
+            full.labels.extend(chunk.labels);
+
+            d.agent.poll(bucket_end).expect("agent poll");
+            d.platform.pump().expect("pump");
+            d.platform.pump().expect("pump");
+            d.agent.poll(bucket_end).expect("agent poll");
+            for payload in d.agent.take_control_requests() {
+                if let Ok(action) = ControlAction::decode(&payload) {
+                    engine.apply_control(bucket_end, &action);
+                    enforced.push((bucket_end, action));
+                }
+            }
+            d.platform.pump().expect("pump");
+
+            if engine.done() {
+                grace += 1;
+            }
+            bucket_end += period;
+        }
+
+        let stats = engine.stats();
+        let outcome = self.evaluate(&full, d);
+        StreamingOutcome { outcome, stats, enforced, engine }
+    }
+
     /// Scores the run against ground truth and snapshots every xApp state.
     fn evaluate(&self, stream: &TelemetryStream, d: Deployment) -> PipelineOutcome {
         let truth = if self.config.scoring_shards > 0 {
@@ -414,6 +496,67 @@ mod tests {
         assert!(outcome.records > 100);
         assert!(outcome.flagged_windows > 0, "downgrade not flagged");
         assert!(outcome.metrics.histogram_count("xsec_mobiwatch_inference_latency_us") > 0);
+    }
+
+    #[test]
+    fn migrating_attacker_is_detected_and_mitigated_in_every_cell_it_visits() {
+        use xsec_attacks::{MigrateConfig, MigrationSchedule};
+        use xsec_ran::stream::StreamConfig;
+
+        let stream_config = StreamConfig {
+            seed: 61,
+            cells: 3,
+            total_ues: 45,
+            mean_inter_arrival: Duration::from_millis(8),
+            mobility_fraction: 0.3,
+            max_handovers: 1,
+            max_live: 64,
+            ..StreamConfig::default()
+        };
+
+        // Train on a benign run of the *same* streaming deployment — the
+        // detector must learn the multi-cell, churning distribution it will
+        // patrol, not the single-cell collection scenario.
+        let mut benign = StreamingScenario::new(StreamConfig { seed: 7, ..stream_config.clone() });
+        let mut training_events = Vec::new();
+        let mut deadline = Timestamp::ZERO + Duration::from_millis(100);
+        while !benign.done() {
+            training_events.extend(benign.step(deadline));
+            deadline += Duration::from_millis(100);
+        }
+        let mut config = PipelineConfig::small(25, 15);
+        config.scoring_shards = 2;
+        let pipeline = Pipeline::train_on(&config, &extract_from_events(&training_events));
+
+        let mut engine = StreamingScenario::new(stream_config);
+        // The attacker tours all three cells, flooding each in turn — the
+        // per-(attack, cell) cooldown must not let later visits ride free.
+        MigrationSchedule::tour(
+            &[0, 1, 2],
+            Timestamp::ZERO + Duration::from_millis(150),
+            Duration::from_millis(900),
+            MigrateConfig { connections_per_visit: 40, ..MigrateConfig::default() },
+        )
+        .install(&mut engine);
+
+        let result = pipeline.run_streaming(engine, Duration::from_secs(60));
+
+        assert!(result.outcome.flagged_windows > 0, "flood not flagged");
+        assert!(!result.outcome.findings.is_empty(), "analyzer saw nothing");
+        assert!(result.outcome.mitigation.issued > 0, "no actions issued");
+        assert!(!result.enforced.is_empty(), "no actions reached the RAN");
+        assert!(result.stats.handovers > 0, "benign churn missing");
+
+        // Enforcement must land in *every* visited cell: once the flood is
+        // mitigated there, that cell's gNB drops its setups (rate limit /
+        // quarantine) or its uplinks (RNTI blacklist).
+        for cell in 0..3 {
+            let stats = result.engine.gnb_stats(cell);
+            assert!(
+                stats.mitigation_dropped + stats.blacklist_dropped > 0,
+                "cell {cell} was never protected: {stats:?}"
+            );
+        }
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //!   them per shard would change their values. Every record's feature vector
 //!   is therefore identical to the single-threaded pipeline's.
 //! * **Windowing and scoring are per UE.** Each `du_ue_id` hashes to exactly
-//!   one shard, which keeps that UE's [`FeatureRing`], raw-record context,
-//!   and alert cooldown. A UE's records arrive at its shard in stream order,
+//!   one shard, which keeps that UE's [`FeatureRing`] and alert cooldown.
+//!   A UE's records arrive at its shard in stream order,
 //!   so per-UE state evolves deterministically — the score and alert sets
 //!   are *invariant in the shard count*, which is what makes the pool safe
 //!   to widen with the machine.
@@ -43,12 +43,16 @@ fn shard_of(du_ue_id: u32, shards: usize) -> usize {
     (du_ue_id.wrapping_mul(0x9E37_79B1) as usize) % shards
 }
 
-/// Work sent to a shard.
+/// Work sent to a shard. Only what scoring needs crosses the channel — the
+/// raw record stays on the ingest thread, which owns alert context.
 enum ToShard {
     /// One featurized record owned by this shard's UE set.
     Record {
         index: u64,
-        record: UeMobiFlow,
+        du_ue_id: u32,
+        at_time: Timestamp,
+        /// The record is an RRC release: score it, then drop the UE's state.
+        evict: bool,
         features: Vec<f32>,
     },
     /// Fork/join barrier: reply with everything scored since the last drain.
@@ -62,24 +66,28 @@ struct ShardBatch {
     scores: Vec<(u64, f32, bool)>,
     /// Alerts raised this batch, tagged with their global record index.
     alerts: Vec<(u64, AnomalyAlert)>,
+    /// UEs this shard still tracks after the batch (leak telemetry).
+    tracked: usize,
 }
 
-/// Per-UE detection state owned by exactly one shard.
+/// Per-UE detection state owned by exactly one shard. Deliberately small:
+/// alert context is assembled from the ingest thread's *global* record tail
+/// (matching the single-threaded MobiWatch), so shards keep only what
+/// scoring needs.
 struct UeState {
     ring: FeatureRing,
-    raw: VecDeque<UeMobiFlow>,
     seen: u64,
     last_publish: Option<u64>,
 }
 
 impl UeState {
-    fn new(window: usize) -> Self {
-        UeState {
-            ring: FeatureRing::new(FEATURES_PER_RECORD, window + 1),
-            raw: VecDeque::new(),
-            seen: 0,
-            last_publish: None,
-        }
+    /// Builds fresh state, reusing a ring from `pool` when one is free so
+    /// churning UEs don't reallocate the (large) flat feature buffer.
+    fn new(window: usize, pool: &mut Vec<FeatureRing>) -> Self {
+        let ring = pool
+            .pop()
+            .unwrap_or_else(|| FeatureRing::new(FEATURES_PER_RECORD, window + 1));
+        UeState { ring, seen: 0, last_publish: None }
     }
 }
 
@@ -93,6 +101,11 @@ pub struct ShardedMobiWatch {
     featurizer: Featurizer,
     feature_buf: Vec<f32>,
     records_seen: u64,
+    tracked_ues: usize,
+    /// Trailing window of the *global* stream, for alert context. The same
+    /// records the single-threaded MobiWatch would attach: a pure function
+    /// of global record order, hence invariant in the shard count.
+    context: VecDeque<UeMobiFlow>,
     state: Arc<Mutex<MobiWatchState>>,
     metrics: WatchMetrics,
     workers: Vec<JoinHandle<()>>,
@@ -122,6 +135,8 @@ impl ShardedMobiWatch {
                 featurizer: Featurizer::new(),
                 feature_buf: Vec::with_capacity(FEATURES_PER_RECORD),
                 records_seen: 0,
+                tracked_ues: 0,
+                context: VecDeque::new(),
                 state: state.clone(),
                 metrics,
                 workers: Vec::new(),
@@ -142,6 +157,13 @@ impl ShardedMobiWatch {
     /// The sliding-window length in force.
     pub fn window(&self) -> usize {
         self.models.feature_config.window
+    }
+
+    /// UEs with live window state across all shards, as of the last batch.
+    /// Flat over a churning stream; growth here is the per-UE state leak the
+    /// eviction-on-release path exists to prevent.
+    pub fn tracked_ues(&self) -> usize {
+        self.tracked_ues
     }
 
     fn ensure_started(&mut self) {
@@ -167,6 +189,7 @@ impl ShardedMobiWatch {
     /// alerts raised, ordered by global record index.
     pub fn process_batch(&mut self, records: &[UeMobiFlow]) -> Vec<AnomalyAlert> {
         self.ensure_started();
+        let batch_start = self.records_seen;
         for record in records {
             let t0 = Instant::now();
             let mut features = std::mem::take(&mut self.feature_buf);
@@ -176,7 +199,9 @@ impl ShardedMobiWatch {
             self.to_shards[shard]
                 .send(ToShard::Record {
                     index: self.records_seen,
-                    record: record.clone(),
+                    du_ue_id: record.du_ue_id,
+                    at_time: record.timestamp,
+                    evict: record.msg == xsec_proto::MessageKind::RrcRelease,
                     features: features.clone(),
                 })
                 .expect("shard alive");
@@ -190,16 +215,47 @@ impl ShardedMobiWatch {
         let rx = self.from_shards.as_ref().expect("started");
         let mut scores = Vec::new();
         let mut alerts = Vec::new();
+        let mut tracked = 0;
         for _ in 0..self.shards {
             let batch = rx.recv().expect("shard replies");
             scores.extend(batch.scores);
             alerts.extend(batch.alerts);
+            tracked += batch.tracked;
         }
+        self.tracked_ues = tracked;
         // Deterministic merge: shard arrival order is per-UE only; global
         // record index restores the stream order regardless of shard count.
         scores.sort_unstable_by_key(|(i, _, _)| *i);
         alerts.sort_unstable_by_key(|(i, _)| *i);
-        let alerts: Vec<AnomalyAlert> = alerts.into_iter().map(|(_, a)| a).collect();
+        // Attach global alert context: the trailing `keep` records of the
+        // stream *as of the alert's record* — exactly what the
+        // single-threaded MobiWatch's history would hold. Shards can't build
+        // this (each sees only its own UEs), and a per-UE context would hide
+        // stream-level signatures like a storm of one-shot connections.
+        let window = self.models.feature_config.window;
+        let keep = (self.config.context_records + window).max(window + 1);
+        let alerts: Vec<AnomalyAlert> = alerts
+            .into_iter()
+            .map(|(index, mut alert)| {
+                let upto = &records[..=(index - batch_start) as usize];
+                let from_batch = upto.len().min(keep);
+                let from_tail = (keep - from_batch).min(self.context.len());
+                alert.records = self
+                    .context
+                    .iter()
+                    .skip(self.context.len() - from_tail)
+                    .chain(upto[upto.len() - from_batch..].iter())
+                    .map(encode_ue_record)
+                    .collect();
+                alert
+            })
+            .collect();
+        for record in records {
+            if self.context.len() == keep {
+                self.context.pop_front();
+            }
+            self.context.push_back(record.clone());
+        }
         let mut state = self.state.lock();
         state.scores.extend(scores);
         state.alerts.extend(alerts.iter().cloned());
@@ -243,74 +299,90 @@ fn shard_loop(
     reply: Sender<ShardBatch>,
 ) {
     let n = models.feature_config.window;
-    let keep = (config.context_records + n).max(n + 1);
     let mut ues: HashMap<u32, UeState> = HashMap::new();
+    let mut ring_pool: Vec<FeatureRing> = Vec::new();
     let mut ws = Workspace::new();
     let mut batch = ShardBatch::default();
     while let Ok(msg) = rx.recv() {
         match msg {
             ToShard::Drain => {
+                batch.tracked = ues.len();
                 if reply.send(std::mem::take(&mut batch)).is_err() {
                     return; // pool is shutting down
                 }
             }
-            ToShard::Record { index, record, features } => {
-                let ue = ues
-                    .entry(record.du_ue_id)
-                    .or_insert_with(|| UeState::new(n));
-                ue.ring.push(&features);
-                ue.raw.push_back(record);
-                while ue.raw.len() > keep {
-                    ue.raw.pop_front();
-                }
-                ue.seen += 1;
+            ToShard::Record { index, du_ue_id, at_time, evict, features } => {
+                // An RRC release ends the connection for good — DU ids are
+                // never reused within a run — so once the release record
+                // itself is scored, the UE's window state is dead weight.
+                // It is evicted after the labeled block below (several score
+                // paths break out of it early) or a million-UE stream would
+                // pin a million rings.
+                'scored: {
+                    let ue = ues
+                        .entry(du_ue_id)
+                        .or_insert_with(|| UeState::new(n, &mut ring_pool));
+                    ue.ring.push(&features);
+                    ue.seen += 1;
 
-                let t0 = Instant::now();
-                let (score, threshold) = match config.detector {
-                    Detector::Autoencoder => {
-                        if ue.ring.len() < n {
-                            continue;
+                    let t0 = Instant::now();
+                    let (score, threshold) = match config.detector {
+                        Detector::Autoencoder => {
+                            if ue.ring.len() < n {
+                                break 'scored;
+                            }
+                            let score = models
+                                .autoencoder
+                                .score_window(ue.ring.last_n(n), &mut ws);
+                            (score, models.ae_threshold)
                         }
-                        let score = models
-                            .autoencoder
-                            .score_window(ue.ring.last_n(n), &mut ws);
-                        (score, models.ae_threshold)
-                    }
-                    Detector::Lstm => {
-                        if ue.ring.len() < n + 1 {
-                            continue;
+                        Detector::Lstm => {
+                            if ue.ring.len() < n + 1 {
+                                break 'scored;
+                            }
+                            let span = ue.ring.last_n(n + 1);
+                            let (window_flat, next) = span.split_at(n * FEATURES_PER_RECORD);
+                            let score = models.lstm.score_window(window_flat, next, &mut ws);
+                            (score, models.lstm_threshold)
                         }
-                        let span = ue.ring.last_n(n + 1);
-                        let (window_flat, next) = span.split_at(n * FEATURES_PER_RECORD);
-                        let score = models.lstm.score_window(window_flat, next, &mut ws);
-                        (score, models.lstm_threshold)
-                    }
-                };
-                metrics.inference_latency.observe_duration(t0.elapsed());
+                    };
+                    metrics.inference_latency.observe_duration(t0.elapsed());
 
-                let flagged = threshold.is_anomalous(score);
-                batch.scores.push((index, score, flagged));
-                if !flagged {
-                    continue;
+                    let flagged = threshold.is_anomalous(score);
+                    batch.scores.push((index, score, flagged));
+                    if !flagged {
+                        break 'scored;
+                    }
+                    // Cooldown in the UE's own record count, so it is
+                    // invariant in both the shard count and the other UEs'
+                    // traffic.
+                    if let Some(last) = ue.last_publish {
+                        if ue.seen.saturating_sub(last) < config.publish_cooldown as u64 {
+                            break 'scored;
+                        }
+                    }
+                    ue.last_publish = Some(ue.seen);
+                    // Context records are attached by the ingest thread on
+                    // merge — a shard only sees its own UEs, but the analyst
+                    // (and the LLM behind it) needs the surrounding *stream*
+                    // to recognize e.g. a flood of one-shot connections.
+                    let alert = AnomalyAlert {
+                        at_record: index,
+                        at_time,
+                        score,
+                        threshold: threshold.value,
+                        records: Vec::new(),
+                    };
+                    metrics.alerts.inc();
+                    batch.alerts.push((index, alert));
                 }
-                // Cooldown in the UE's own record count, so it is invariant
-                // in both the shard count and the other UEs' traffic.
-                if let Some(last) = ue.last_publish {
-                    if ue.seen.saturating_sub(last) < config.publish_cooldown as u64 {
-                        continue;
+                if evict {
+                    if let Some(state) = ues.remove(&du_ue_id) {
+                        let mut ring = state.ring;
+                        ring.clear();
+                        ring_pool.push(ring);
                     }
                 }
-                ue.last_publish = Some(ue.seen);
-                let newest = ue.raw.back().expect("just pushed");
-                let alert = AnomalyAlert {
-                    at_record: index,
-                    at_time: newest.timestamp,
-                    score,
-                    threshold: threshold.value,
-                    records: ue.raw.iter().map(encode_ue_record).collect(),
-                };
-                metrics.alerts.inc();
-                batch.alerts.push((index, alert));
             }
         }
     }
@@ -412,6 +484,86 @@ mod tests {
         let mut sorted = indices.clone();
         sorted.sort_unstable();
         assert_eq!(indices, sorted, "merged scores must be stream-ordered");
+    }
+
+    #[test]
+    fn released_ues_are_evicted_from_shard_state() {
+        let models = quick_models(36);
+        let ds = DatasetBuilder::small(37, 12).attack(AttackKind::BtsDos);
+        let stream = extract_from_events(&ds.report.events);
+
+        let (mut pool, _state) =
+            ShardedMobiWatch::new(models.clone(), MobiWatchConfig::default(), 3);
+        for chunk in stream.records.chunks(50) {
+            pool.process_batch(chunk);
+        }
+
+        // The pool should only still track connections that never saw an
+        // RRC release (e.g. admission-rejected setups); everything released
+        // — benign teardowns and guard-expired DoS contexts alike — must be
+        // evicted.
+        let mut open: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for record in &stream.records {
+            if record.msg == xsec_proto::MessageKind::RrcRelease {
+                open.remove(&record.du_ue_id);
+            } else {
+                open.insert(record.du_ue_id);
+            }
+        }
+        let distinct: std::collections::HashSet<u32> =
+            stream.records.iter().map(|r| r.du_ue_id).collect();
+        assert_eq!(
+            pool.tracked_ues(),
+            open.len(),
+            "tracked state diverged from open connections"
+        );
+        assert!(
+            pool.tracked_ues() < distinct.len() / 2,
+            "eviction barely fired: {} tracked of {} distinct",
+            pool.tracked_ues(),
+            distinct.len()
+        );
+        drop(pool);
+    }
+
+    #[test]
+    fn detections_are_shard_invariant_under_churn() {
+        use xsec_ran::{StreamConfig, StreamingScenario};
+        use xsec_types::{Duration, Timestamp};
+
+        // A stream where UEs register, hand over between cells, and retire
+        // mid-run — slab slots and DU ranges churn constantly.
+        let mut engine = StreamingScenario::new(StreamConfig {
+            seed: 41,
+            cells: 3,
+            total_ues: 50,
+            mean_inter_arrival: Duration::from_millis(4),
+            mobility_fraction: 0.5,
+            max_handovers: 2,
+            max_live: 24,
+            ..StreamConfig::default()
+        });
+        let mut events = Vec::new();
+        let mut deadline = Timestamp::ZERO + Duration::from_millis(50);
+        while !engine.done() {
+            events.extend(engine.step(deadline));
+            deadline += Duration::from_millis(50);
+        }
+        assert!(engine.stats().handovers > 0, "churn stream must hand over");
+        let stream = extract_from_events(&events);
+
+        let models = quick_models(38);
+        let config = MobiWatchConfig::default();
+        let single = run_sharded(&models, &config, 1, &stream);
+        let quad = run_sharded(&models, &config, 4, &stream);
+
+        assert!(!single.scores.is_empty(), "churn stream must produce scores");
+        assert_eq!(single.scores, quad.scores, "churn broke shard invariance");
+        assert_eq!(single.alerts.len(), quad.alerts.len());
+        for (a, b) in single.alerts.iter().zip(&quad.alerts) {
+            assert_eq!(a.at_record, b.at_record);
+            assert_eq!(a.records, b.records);
+        }
     }
 
     #[test]

@@ -67,6 +67,13 @@ impl FeatureRing {
         self.len = (self.len + 1).min(self.cap);
     }
 
+    /// Forgets every record but keeps the allocation, so a pooled ring can
+    /// be handed to a different UE without carrying the old one's history.
+    pub fn clear(&mut self) {
+        self.flat.clear();
+        self.len = 0;
+    }
+
     /// The flattened features of the most recent `n` records, oldest first,
     /// as one contiguous slice.
     ///
@@ -93,6 +100,22 @@ mod tests {
         assert_eq!(ring.len(), 3);
         assert_eq!(ring.last_n(3), &[7.0, -7.0, 8.0, -8.0, 9.0, -9.0]);
         assert_eq!(ring.last_n(1), &[9.0, -9.0]);
+    }
+
+    #[test]
+    fn clear_recycles_without_leaking_rows_or_capacity() {
+        let mut ring = FeatureRing::new(2, 3);
+        for i in 0..5u32 {
+            ring.push(&[i as f32, i as f32]);
+        }
+        let cap = ring.flat.capacity();
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(cap, ring.flat.capacity(), "clear must keep the allocation");
+        // The next owner sees only its own rows.
+        ring.push(&[7.0, 8.0]);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.last_n(1), &[7.0, 8.0]);
     }
 
     #[test]

@@ -56,10 +56,17 @@ impl TelemetryStream {
 
 /// Builds the telemetry stream from structured simulator events.
 pub fn extract_from_events(events: &[RanEvent]) -> TelemetryStream {
+    extract_from_events_at(events, 0)
+}
+
+/// [`extract_from_events`] for an event *chunk*: record ids continue from
+/// `first_msg_id` so a streaming driver extracting batch by batch produces
+/// the same globally monotone `msg_id` sequence a one-shot extraction would.
+pub fn extract_from_events_at(events: &[RanEvent], first_msg_id: u64) -> TelemetryStream {
     let mut stream = TelemetryStream::default();
     for (i, ev) in events.iter().enumerate() {
         stream.records.push(UeMobiFlow {
-            msg_id: i as u64,
+            msg_id: first_msg_id + i as u64,
             timestamp: ev.at,
             cell: ev.cell,
             rnti: ev.rnti,

@@ -30,6 +30,9 @@ pub mod record;
 pub mod sdl;
 
 pub use codec::{decode_ue_record, encode_ue_record};
-pub use extract::{extract_from_events, extract_from_trace, BsAggregator, TelemetryStream};
+pub use extract::{
+    extract_from_events, extract_from_events_at, extract_from_trace, BsAggregator,
+    TelemetryStream,
+};
 pub use record::{BsMobiFlow, UeMobiFlow, MOBIFLOW_VERSION};
 pub use sdl::SharedDataLayer;

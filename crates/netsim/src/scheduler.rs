@@ -79,6 +79,13 @@ impl<E> Scheduler<E> {
         self.queue.len()
     }
 
+    /// Whether the queue is drained — nothing more will fire unless a new
+    /// event is scheduled. Streaming drivers use this to tell a quiescent
+    /// simulation apart from one that merely reached its step deadline.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
     /// Total events popped so far.
     pub fn processed(&self) -> u64 {
         self.processed
@@ -223,5 +230,15 @@ mod tests {
         let n = s.run_until(Timestamp(u64::MAX), |_, _, _| {});
         assert_eq!(n, 100);
         assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn is_idle_tracks_queue_emptiness() {
+        let mut s = Scheduler::new();
+        assert!(s.is_idle());
+        s.schedule_at(Timestamp(1), ());
+        assert!(!s.is_idle());
+        s.pop();
+        assert!(s.is_idle());
     }
 }

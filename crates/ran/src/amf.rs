@@ -25,7 +25,7 @@
 use crate::auth;
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use xsec_proto::nas::{IdentityType, NasMessage, NasRejectCause};
 use xsec_proto::MobileIdentity;
 use xsec_types::{ReleaseCause, SecurityCapabilities, Supi, Tmsi};
@@ -48,11 +48,20 @@ pub struct AmfConfig {
     pub identity_fallback_plaintext: bool,
     /// Maximum authentication attempts per connection before rejecting.
     pub max_auth_attempts: u32,
+    /// Upper bound on remembered TMSI→subscriber bindings. `None` keeps
+    /// every binding forever (fine for bounded scenario runs); streaming
+    /// runs set a cap so the AMF forgets the oldest *detached* TMSIs first
+    /// and its memory stays flat while millions of UEs churn through.
+    pub tmsi_retention: Option<usize>,
 }
 
 impl Default for AmfConfig {
     fn default() -> Self {
-        AmfConfig { identity_fallback_plaintext: true, max_auth_attempts: 2 }
+        AmfConfig {
+            identity_fallback_plaintext: true,
+            max_auth_attempts: 2,
+            tmsi_retention: None,
+        }
     }
 }
 
@@ -100,6 +109,7 @@ pub struct Amf {
     config: AmfConfig,
     subscribers: HashMap<u64, SubscriberRecord>, // msin → record
     tmsi_owner: HashMap<Tmsi, u64>,              // allocated tmsi → msin
+    tmsi_order: VecDeque<Tmsi>,                  // allocation order, for retention eviction
     attached: HashMap<Tmsi, u64>,                // tmsi → active conn
     conns: HashMap<u64, ConnContext>,
     next_tmsi: u32,
@@ -113,6 +123,7 @@ impl Amf {
             config,
             subscribers: HashMap::new(),
             tmsi_owner: HashMap::new(),
+            tmsi_order: VecDeque::new(),
             attached: HashMap::new(),
             conns: HashMap::new(),
             next_tmsi: 0x0100_0000,
@@ -125,13 +136,50 @@ impl Amf {
         self.subscribers.insert(record.supi.msin, record);
     }
 
+    /// Removes a subscriber's SIM profile (e.g. after the streaming engine
+    /// retires the UE for good). Any live attachment is unaffected; the
+    /// subscriber simply cannot authenticate fresh registrations anymore.
+    pub fn forget_subscriber(&mut self, msin: u64) {
+        self.subscribers.remove(&msin);
+    }
+
+    /// Number of provisioned subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// Number of remembered TMSI→subscriber bindings.
+    pub fn tmsi_binding_count(&self) -> usize {
+        self.tmsi_owner.len()
+    }
+
     /// Provisions a *stale* TMSI binding: the AMF remembers it belongs to
     /// `msin` (e.g. from before a restart) although no connection is
     /// attached under it. A warm-starting UE presenting this TMSI resolves
     /// directly — no identity procedure, exactly like a production AMF with
     /// persistent TMSI state.
     pub fn provision_stale_tmsi(&mut self, tmsi: Tmsi, msin: u64) {
-        self.tmsi_owner.insert(tmsi, msin);
+        if self.tmsi_owner.insert(tmsi, msin).is_none() {
+            self.tmsi_order.push_back(tmsi);
+        }
+        self.enforce_tmsi_retention();
+    }
+
+    /// Drops the oldest detached TMSI bindings until the retention cap (if
+    /// configured) is respected. Currently attached TMSIs are never evicted
+    /// — they are re-queued behind the newest allocation instead.
+    fn enforce_tmsi_retention(&mut self) {
+        let Some(cap) = self.config.tmsi_retention else { return };
+        let mut budget = self.tmsi_order.len();
+        while self.tmsi_owner.len() > cap && budget > 0 {
+            budget -= 1;
+            let Some(tmsi) = self.tmsi_order.pop_front() else { break };
+            if self.attached.contains_key(&tmsi) {
+                self.tmsi_order.push_back(tmsi);
+            } else {
+                self.tmsi_owner.remove(&tmsi);
+            }
+        }
     }
 
     /// Number of currently attached (registered) subscribers.
@@ -361,8 +409,11 @@ impl Amf {
         self.next_tmsi = self.next_tmsi.wrapping_add(1);
         ctx.phase = ConnPhase::Registered;
         ctx.tmsi = Some(tmsi);
-        self.tmsi_owner.insert(tmsi, msin);
+        if self.tmsi_owner.insert(tmsi, msin).is_none() {
+            self.tmsi_order.push_back(tmsi);
+        }
         self.attached.insert(tmsi, conn);
+        self.enforce_tmsi_retention();
         vec![AmfAction::SendNas { conn, msg: NasMessage::RegistrationAccept { new_tmsi: tmsi } }]
     }
 
@@ -639,6 +690,45 @@ mod tests {
         let tmsi = register(&mut amf, 1, 1000, 0xAA);
         amf.connection_closed(1);
         assert!(!amf.is_attached(tmsi));
+    }
+
+    #[test]
+    fn tmsi_retention_evicts_oldest_detached_binding_first() {
+        let mut amf = Amf::new(
+            AmfConfig { tmsi_retention: Some(2), ..AmfConfig::default() },
+            StdRng::seed_from_u64(3),
+        );
+        amf.provision(SubscriberRecord { supi: Supi::new(Plmn::TEST, 1000), key: 0xAA });
+        let attached = register(&mut amf, 1, 1000, 0xAA);
+        // Two stale bindings push past the cap; the attached TMSI must
+        // survive while the oldest detached binding is evicted.
+        amf.provision_stale_tmsi(Tmsi(0xA1), 1000);
+        amf.provision_stale_tmsi(Tmsi(0xA2), 1000);
+        assert_eq!(amf.tmsi_binding_count(), 2);
+        assert!(amf.tmsi_owner.contains_key(&attached));
+        assert!(!amf.tmsi_owner.contains_key(&Tmsi(0xA1)));
+        assert!(amf.tmsi_owner.contains_key(&Tmsi(0xA2)));
+    }
+
+    #[test]
+    fn forget_subscriber_removes_the_sim_profile() {
+        let mut amf = amf();
+        assert_eq!(amf.subscriber_count(), 2);
+        amf.forget_subscriber(1000);
+        assert_eq!(amf.subscriber_count(), 1);
+        // Fresh registrations for the forgotten MSIN now hit the identity
+        // fallback instead of authenticating.
+        let actions = amf.handle_uplink(
+            9,
+            &NasMessage::RegistrationRequest {
+                identity: suci(1000, 1),
+                capabilities: SecurityCapabilities::full(),
+            },
+        );
+        assert!(matches!(
+            actions[0],
+            AmfAction::SendNas { msg: NasMessage::IdentityRequest { .. }, .. }
+        ));
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub struct DeviceProfile {
 }
 
 impl DeviceModel {
+    /// Number of device models — array types that must stay in sync with
+    /// [`DeviceModel::ALL`] (e.g. `ScenarioConfig::device_mix`) should be
+    /// sized with this constant so they cannot silently drift.
+    pub const COUNT: usize = DeviceModel::ALL.len();
+
     /// All models, in the order the paper lists them.
     pub const ALL: [DeviceModel; 5] = [
         DeviceModel::Pixel5,

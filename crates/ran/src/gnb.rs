@@ -34,6 +34,9 @@ pub struct GnbConfig {
     pub setup_guard: Duration,
     /// First C-RNTI to hand out (OAI starts around 0x4601).
     pub first_rnti: u16,
+    /// First DU-local connection id. Multi-cell deployments give each cell a
+    /// disjoint range so `du_ue_id` stays globally unique across gNBs.
+    pub first_conn: u32,
 }
 
 impl Default for GnbConfig {
@@ -43,6 +46,7 @@ impl Default for GnbConfig {
             max_contexts: 48,
             setup_guard: Duration::from_millis(600),
             first_rnti: 0x4601,
+            first_conn: 1,
         }
     }
 }
@@ -183,11 +187,12 @@ impl Gnb {
     /// Creates a gNB with the given configuration.
     pub fn new(config: GnbConfig) -> Self {
         let rnti_cursor = config.first_rnti;
+        let next_conn = config.first_conn;
         Gnb {
             config,
             contexts: HashMap::new(),
             rnti_cursor,
-            next_conn: 1,
+            next_conn,
             metrics: GnbMetrics::register(&Obs::new()),
             blacklist: HashMap::new(),
             rate_limits: HashMap::new(),

@@ -42,6 +42,7 @@ pub mod gnb;
 pub mod intercept;
 pub mod scenario;
 pub mod sim;
+pub mod stream;
 pub mod ue;
 
 pub use amf::{Amf, AmfConfig, SubscriberRecord};
@@ -51,4 +52,5 @@ pub use gnb::{Gnb, GnbConfig};
 pub use intercept::{Chain, Intercept, Interceptor, PassThrough};
 pub use scenario::{Scenario, ScenarioConfig};
 pub use sim::{RanSimulator, SimConfig, SimReport};
+pub use stream::{StormConfig, StreamConfig, StreamStats, StreamingScenario};
 pub use ue::{BenignUe, SessionPlan, UeActions, UeBehavior};

@@ -27,7 +27,7 @@ pub struct ScenarioConfig {
     pub mean_inter_arrival: Duration,
     /// Relative weights over [`DeviceModel::ALL`] for the device mix.
     /// Default mixes phones and soft UEs like the paper's collection.
-    pub device_mix: [u32; 5],
+    pub device_mix: [u32; DeviceModel::COUNT],
     /// Fraction of sessions that are re-registrations presenting a cached
     /// TMSI (the UE is provisioned with one it "remembers").
     pub warm_start_fraction: f64,

@@ -40,6 +40,10 @@ pub struct SimConfig {
     pub guard_poll: Duration,
     /// Fixed network-internal processing delay (CU/AMF) added to downlinks.
     pub core_delay: Duration,
+    /// Whether to record the raw F1AP/NGAP byte capture alongside the
+    /// structured event stream. Streaming soaks turn this off: the capture
+    /// grows without bound and detection only reads the structured view.
+    pub capture_trace: bool,
 }
 
 impl Default for SimConfig {
@@ -52,6 +56,7 @@ impl Default for SimConfig {
             horizon: Duration::from_secs(60),
             guard_poll: Duration::from_millis(250),
             core_delay: Duration::from_millis(2),
+            capture_trace: true,
         }
     }
 }
@@ -85,20 +90,36 @@ impl SimReport {
     }
 }
 
+/// A generation-checked handle to a UE slab slot. Slots are recycled through
+/// a free list as UEs retire, so an in-flight event can outlive the UE it
+/// was addressed to; the generation distinguishes the current occupant from
+/// a previous one and stale events are dropped on dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct UeRef {
+    slot: u32,
+    gen: u32,
+}
+
+/// One slab slot: the live entry (if any) plus the reuse generation.
+struct UeSlot {
+    gen: u32,
+    entry: Option<UeEntry>,
+}
+
 enum SimEvent {
-    PowerOn { ue: usize },
+    PowerOn { ue: UeRef },
     /// UE finished its think time; the message enters the air interface.
-    UplinkSend { ue: usize, msg: L3Message },
+    UplinkSend { ue: UeRef, msg: L3Message },
     /// The message survived the channel and reaches the network tap.
-    UplinkArrive { ue: usize, msg: L3Message },
+    UplinkArrive { ue: UeRef, msg: L3Message },
     /// The network's processing delay elapsed; the downlink is transmitted
     /// (tapped at the network, then MiTM + channel). `ue` was resolved when
     /// the network decided to send, so releases still reach UEs whose
     /// contexts were freed in the meantime.
-    DownlinkSend { conn: u32, ue: Option<usize>, msg: L3Message },
+    DownlinkSend { conn: u32, ue: Option<UeRef>, msg: L3Message },
     /// A downlink survived the channel and reaches the UE.
-    DownlinkArrive { ue: usize, msg: L3Message },
-    UeTimer { ue: usize, token: u32 },
+    DownlinkArrive { ue: UeRef, msg: L3Message },
+    UeTimer { ue: UeRef, token: u32 },
     GuardPoll,
 }
 
@@ -119,7 +140,6 @@ struct UeEntry {
     behavior: Box<dyn UeBehavior>,
     label: TrafficClass,
     conn: Option<u32>,
-    powered_off: bool,
     taint: Option<TaintState>,
     rng: StdRng,
 }
@@ -150,8 +170,21 @@ pub struct RanSimulator {
     channel: ChannelModel,
     gnb: Gnb,
     amf: Amf,
-    ues: Vec<UeEntry>,
-    conn_to_ue: HashMap<u32, usize>,
+    /// Compact per-UE slab: retired UEs free their slot back to `free` for
+    /// reuse, so the slab's size tracks the number of *concurrently* live
+    /// UEs rather than the total ever created — the property that lets a
+    /// streaming scenario push millions of distinct UEs through a flat
+    /// memory ceiling.
+    slots: Vec<UeSlot>,
+    free: Vec<u32>,
+    /// Total UEs ever added; keys the per-UE RNG stream so replays stay
+    /// stable under churn (a reused slot draws a *fresh* stream, not the
+    /// previous occupant's).
+    ue_seq: u64,
+    live: usize,
+    retired: Vec<UeId>,
+    guard_scheduled: bool,
+    conn_to_ue: HashMap<u32, UeRef>,
     snapshots: HashMap<u32, Snapshot>,
     interceptor: Box<dyn Interceptor>,
     events: Vec<RanEvent>,
@@ -176,7 +209,12 @@ impl RanSimulator {
             channel,
             gnb,
             amf,
-            ues: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            ue_seq: 0,
+            live: 0,
+            retired: Vec::new(),
+            guard_scheduled: true,
             conn_to_ue: HashMap::new(),
             snapshots: HashMap::new(),
             interceptor: Box::new(PassThrough),
@@ -209,30 +247,84 @@ impl RanSimulator {
     }
 
     /// Registers a UE to power on at `start_at`. Returns its ground-truth id.
+    ///
+    /// UEs may be added at any point, including mid-run after earlier UEs
+    /// retired: the entry goes into a recycled slab slot, but its identity
+    /// and RNG stream are keyed by the monotonically increasing arrival
+    /// sequence, so the same arrival order always replays identically no
+    /// matter how slots were reused.
     pub fn add_ue(
         &mut self,
         behavior: Box<dyn UeBehavior>,
         label: TrafficClass,
         start_at: Timestamp,
     ) -> UeId {
-        let idx = self.ues.len();
-        let id = UeId(idx as u64 + 1);
-        self.ues.push(UeEntry {
+        let id = UeId(self.ue_seq + 1);
+        let entry = UeEntry {
             id,
             behavior,
             label,
             conn: None,
-            powered_off: false,
             taint: None,
-            rng: self.streams.indexed_stream("ue", idx as u64),
-        });
-        self.scheduler.schedule_at(start_at, SimEvent::PowerOn { ue: idx });
+            rng: self.streams.indexed_stream("ue", self.ue_seq),
+        };
+        self.ue_seq += 1;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize].entry = Some(entry);
+                slot
+            }
+            None => {
+                self.slots.push(UeSlot { gen: 0, entry: Some(entry) });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.live += 1;
+        let ue = UeRef { slot, gen: self.slots[slot as usize].gen };
+        self.scheduler.schedule_at(start_at, SimEvent::PowerOn { ue });
+        // The guard sweep cancels itself once the sim quiesces; a fresh UE
+        // (e.g. from the streaming generator) must re-arm it.
+        if !self.guard_scheduled {
+            self.scheduler.schedule_in(self.config.guard_poll, SimEvent::GuardPoll);
+            self.guard_scheduled = true;
+        }
         id
+    }
+
+    /// Resolves a generation-checked reference to the current slab index,
+    /// or `None` if the addressed UE has retired (stale in-flight event).
+    fn resolve(&self, r: UeRef) -> Option<usize> {
+        let slot = self.slots.get(r.slot as usize)?;
+        (slot.gen == r.gen && slot.entry.is_some()).then_some(r.slot as usize)
+    }
+
+    /// Retires a powered-off UE: frees its slot and generation for reuse
+    /// and records the id so external drivers (the streaming engine) can
+    /// evict downstream per-UE state. Stale in-flight events addressed to
+    /// the old occupant are dropped by the generation check.
+    fn retire(&mut self, r: UeRef) {
+        let Some(idx) = self.resolve(r) else { return };
+        let entry = self.slots[idx].entry.take().expect("resolved slot is occupied");
+        if let Some(conn) = entry.conn {
+            self.conn_to_ue.remove(&conn);
+            // The UE vanished; the CU context lingers until guard expiry
+            // or an explicit release already in flight.
+        }
+        self.slots[idx].gen = self.slots[idx].gen.wrapping_add(1);
+        self.free.push(r.slot);
+        self.live -= 1;
+        self.retired.push(entry.id);
     }
 
     /// Attaches a man-in-the-middle on the air interface.
     pub fn set_interceptor(&mut self, interceptor: Box<dyn Interceptor>) {
         self.interceptor = interceptor;
+    }
+
+    /// Occupied-slot access; only valid for indices that came out of
+    /// [`RanSimulator::resolve`] within the same dispatch.
+    fn entry_mut(&mut self, idx: usize) -> &mut UeEntry {
+        self.slots[idx].entry.as_mut().expect("resolved slot is occupied")
     }
 
     /// Applies a tampering label to a UE. An existing session-scope taint is
@@ -248,9 +340,10 @@ impl RanSimulator {
                 TaintState::Span { kind, from, to, active: false }
             }
         };
-        match self.ues[ue].taint {
+        let entry = self.entry_mut(ue);
+        match entry.taint {
             Some(TaintState::Session { .. }) => {} // session taint already in force
-            _ => self.ues[ue].taint = Some(state),
+            _ => entry.taint = Some(state),
         }
     }
 
@@ -300,6 +393,57 @@ impl RanSimulator {
         &self.events
     }
 
+    /// Drains the labeled events accumulated since the last drain. The
+    /// streaming drivers use this instead of [`RanSimulator::events`] so the
+    /// event buffer stays flat no matter how long the run goes.
+    pub fn take_events(&mut self) -> Vec<RanEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Drains the ids of UEs retired (powered off and slab-freed) since the
+    /// last drain, so external drivers can evict downstream per-UE state.
+    pub fn take_retired(&mut self) -> Vec<UeId> {
+        std::mem::take(&mut self.retired)
+    }
+
+    /// Number of UEs currently alive (added and not yet retired).
+    pub fn live_ues(&self) -> usize {
+        self.live
+    }
+
+    /// Total UEs ever added to this simulator.
+    pub fn total_ues(&self) -> u64 {
+        self.ue_seq
+    }
+
+    /// Size of the UE slab — the high-water mark of *concurrently* live
+    /// UEs, not the total ever created (retired slots are recycled).
+    pub fn slab_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the event queue is fully drained — nothing more will happen
+    /// unless new UEs are added.
+    pub fn is_idle(&self) -> bool {
+        self.scheduler.is_idle()
+    }
+
+    /// Removes a subscriber's SIM profile from the core (streaming retire).
+    pub fn remove_subscriber(&mut self, msin: u64) {
+        self.amf.forget_subscriber(msin);
+    }
+
+    /// Point-in-time gNB counters (available mid-run; `finish` reports the
+    /// same numbers at the end).
+    pub fn gnb_stats(&self) -> crate::gnb::GnbStats {
+        self.gnb.stats()
+    }
+
+    /// Number of currently attached (registered) subscribers at the AMF.
+    pub fn attached_count(&self) -> usize {
+        self.amf.attached_count()
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &SimConfig {
         &self.config
@@ -320,10 +464,8 @@ impl RanSimulator {
     fn dispatch(&mut self, now: Timestamp, event: SimEvent) {
         match event {
             SimEvent::PowerOn { ue } => {
-                if self.ues[ue].powered_off {
-                    return;
-                }
-                let entry = &mut self.ues[ue];
+                let Some(idx) = self.resolve(ue) else { return };
+                let entry = self.entry_mut(idx);
                 let actions = entry.behavior.on_power_on(now, &mut entry.rng);
                 self.apply_ue_actions(now, ue, actions);
             }
@@ -331,69 +473,61 @@ impl RanSimulator {
             SimEvent::UplinkArrive { ue, msg } => self.uplink_arrive(now, ue, msg),
             SimEvent::DownlinkSend { conn, ue, msg } => self.downlink_send(now, conn, ue, msg),
             SimEvent::DownlinkArrive { ue, msg } => {
-                if self.ues[ue].powered_off {
-                    return;
-                }
-                let entry = &mut self.ues[ue];
+                let Some(idx) = self.resolve(ue) else { return };
+                let entry = self.entry_mut(idx);
                 let actions = entry.behavior.on_downlink(now, &msg, &mut entry.rng);
                 self.apply_ue_actions(now, ue, actions);
             }
             SimEvent::UeTimer { ue, token } => {
-                if self.ues[ue].powered_off {
-                    return;
-                }
-                let entry = &mut self.ues[ue];
+                let Some(idx) = self.resolve(ue) else { return };
+                let entry = self.entry_mut(idx);
                 let actions = entry.behavior.on_timer(now, token, &mut entry.rng);
                 self.apply_ue_actions(now, ue, actions);
             }
             SimEvent::GuardPoll => {
+                self.guard_scheduled = false;
                 let actions = self.gnb.expire_stale(now);
                 for action in actions {
                     self.apply_gnb_action(now, action);
                 }
-                // Keep polling while anything can still happen.
-                if self.ues.iter().any(|u| !u.powered_off) || self.gnb.active_contexts() > 0 {
+                // Keep polling while anything can still happen. Once the sim
+                // quiesces, the sweep stops; `add_ue` re-arms it.
+                if self.live > 0 || self.gnb.active_contexts() > 0 {
                     self.scheduler.schedule_in(self.config.guard_poll, SimEvent::GuardPoll);
+                    self.guard_scheduled = true;
                 }
             }
         }
     }
 
-    fn apply_ue_actions(&mut self, now: Timestamp, ue: usize, actions: crate::ue::UeActions) {
+    fn apply_ue_actions(&mut self, now: Timestamp, ue: UeRef, actions: crate::ue::UeActions) {
         for (delay, token) in actions.timers {
             self.scheduler.schedule_at(now + delay, SimEvent::UeTimer { ue, token });
         }
         let mut offset = Duration::ZERO;
         for msg in actions.sends {
             let delay = {
-                let entry = &mut self.ues[ue];
+                let Some(idx) = self.resolve(ue) else { return };
+                let entry = self.entry_mut(idx);
                 entry.behavior.response_delay(&mut entry.rng)
             };
             offset = offset + delay;
             self.scheduler.schedule_at(now + offset, SimEvent::UplinkSend { ue, msg });
         }
         if actions.power_off {
-            let entry = &mut self.ues[ue];
-            entry.powered_off = true;
-            if let Some(conn) = entry.conn.take() {
-                self.conn_to_ue.remove(&conn);
-                // The UE vanished; the CU context lingers until guard expiry
-                // or an explicit release already in flight.
-            }
+            self.retire(ue);
         }
     }
 
     /// The message leaves the UE: MiTM first, then the radio channel.
-    fn uplink_send(&mut self, now: Timestamp, ue: usize, msg: L3Message) {
-        if self.ues[ue].powered_off {
-            return;
-        }
-        let ue_id = self.ues[ue].id;
+    fn uplink_send(&mut self, now: Timestamp, ue: UeRef, msg: L3Message) {
+        let Some(idx) = self.resolve(ue) else { return };
+        let ue_id = self.slots[idx].entry.as_ref().expect("resolved slot is occupied").id;
         let msg = match self.interceptor.on_uplink(ue_id, &msg) {
             Intercept::Pass => msg,
             Intercept::Drop => return,
             Intercept::Replace { message, taint, scope } => {
-                self.apply_taint(ue, taint, scope);
+                self.apply_taint(idx, taint, scope);
                 message
             }
         };
@@ -414,12 +548,14 @@ impl RanSimulator {
     }
 
     /// The message reaches the network: tap it, then process it.
-    fn uplink_arrive(&mut self, now: Timestamp, ue: usize, msg: L3Message) {
+    fn uplink_arrive(&mut self, now: Timestamp, ue: UeRef, msg: L3Message) {
+        let Some(idx) = self.resolve(ue) else { return };
         if let L3Message::Rrc(RrcMessage::SetupRequest { cause, .. }) = &msg {
             self.handle_setup_request(now, ue, msg.clone(), *cause);
             return;
         }
-        let Some(conn) = self.ues[ue].conn else {
+        let Some(conn) = self.slots[idx].entry.as_ref().expect("resolved slot is occupied").conn
+        else {
             return; // stale uplink for a torn-down connection
         };
         // MAC-level enforcement: a blacklisted C-RNTI's frames are dropped
@@ -431,7 +567,7 @@ impl RanSimulator {
         // relay point (`ToAmf`) so piggybacked containers get their own
         // telemetry entry, matching the paper's message ladders.
         if matches!(msg, L3Message::Rrc(_)) {
-            self.emit_event(now, conn, true, &msg, ue);
+            self.emit_event(now, conn, true, &msg, Some(idx));
         }
         let actions = self.gnb.handle_uplink(conn, &msg);
         for action in actions {
@@ -442,19 +578,20 @@ impl RanSimulator {
     fn handle_setup_request(
         &mut self,
         now: Timestamp,
-        ue: usize,
+        ue: UeRef,
         msg: L3Message,
         cause: EstablishmentCause,
     ) {
+        let Some(idx) = self.resolve(ue) else { return };
         match self.gnb.admit(now, cause) {
             Ok(conn) => {
                 // A fresh connection; any previous one from this UE lingers
                 // at the CU (that *is* the BTS DoS resource burn). Its
                 // routing entry stays so the eventual guard-expiry release
                 // is still attributed (and ground-truth-labeled) correctly.
-                self.ues[ue].conn = Some(conn);
+                self.entry_mut(idx).conn = Some(conn);
                 self.conn_to_ue.insert(conn, ue);
-                self.emit_event(now, conn, true, &msg, ue);
+                self.emit_event(now, conn, true, &msg, Some(idx));
                 self.downlink_send(now, conn, Some(ue), L3Message::Rrc(RrcMessage::Setup));
             }
             Err(AdmitError::RateLimited) | Err(AdmitError::Quarantined) => {
@@ -467,9 +604,9 @@ impl RanSimulator {
                 let temp_rnti = Rnti(self.temp_rnti_cursor);
                 self.temp_rnti_cursor = self.temp_rnti_cursor.wrapping_add(1).max(0x0100);
                 let snapshot = Snapshot { rnti: temp_rnti, cause: Some(cause), ..Snapshot::default() };
-                self.emit_event_with_snapshot(now, 0, snapshot, true, &msg, Some(ue));
+                self.emit_event_with_snapshot(now, 0, snapshot, true, &msg, Some(idx));
                 let reject = L3Message::Rrc(RrcMessage::Reject { wait_time_s: 16 });
-                self.emit_event_with_snapshot(now, 0, snapshot, false, &reject, Some(ue));
+                self.emit_event_with_snapshot(now, 0, snapshot, false, &reject, Some(idx));
                 self.deliver_downlink(now, ue, reject);
             }
         }
@@ -487,25 +624,31 @@ impl RanSimulator {
                 );
             }
             GnbAction::ToAmf { conn, msg } => {
-                let ue = self.conn_to_ue.get(&conn).copied().unwrap_or(usize::MAX);
+                let ue = self.conn_to_ue.get(&conn).copied().and_then(|r| self.resolve(r));
                 self.emit_event(now, conn, true, &L3Message::Nas(msg.clone()), ue);
                 // If an attack-labeled uplink forces the AMF to detach a
                 // *different* connection (the TMSI-conflict lever of Blind
                 // DoS), the victim's teardown is attack fallout: label it.
-                let source_attack = (ue != usize::MAX)
-                    .then(|| match self.ues[ue].taint {
+                let source_attack = ue.and_then(|idx| {
+                    let entry = self.slots[idx].entry.as_ref().expect("resolved slot");
+                    match entry.taint {
                         Some(TaintState::Burst { kind, skip: 0, .. })
                         | Some(TaintState::Session { kind }) => Some(kind),
-                        _ => self.ues[ue].label.attack_kind(),
-                    })
-                    .flatten();
+                        _ => entry.label.attack_kind(),
+                    }
+                });
                 let amf_actions = self.amf.handle_uplink(conn as u64, &msg);
                 if let Some(kind) = source_attack {
                     for action in &amf_actions {
                         if let AmfAction::ReleaseConnection { conn: victim_conn, .. } = action {
                             let victim_conn = *victim_conn as u32;
                             if victim_conn != conn {
-                                if let Some(&victim) = self.conn_to_ue.get(&victim_conn) {
+                                if let Some(victim) = self
+                                    .conn_to_ue
+                                    .get(&victim_conn)
+                                    .copied()
+                                    .and_then(|r| self.resolve(r))
+                                {
                                     self.apply_taint(
                                         victim,
                                         kind,
@@ -532,9 +675,10 @@ impl RanSimulator {
             }
             GnbAction::ContextFreed { conn } => {
                 self.amf.connection_closed(conn as u64);
-                if let Some(ue) = self.conn_to_ue.remove(&conn) {
-                    if self.ues[ue].conn == Some(conn) {
-                        self.ues[ue].conn = None;
+                if let Some(idx) = self.conn_to_ue.remove(&conn).and_then(|r| self.resolve(r)) {
+                    let entry = self.entry_mut(idx);
+                    if entry.conn == Some(conn) {
+                        entry.conn = None;
                     }
                 }
             }
@@ -543,11 +687,15 @@ impl RanSimulator {
 
     /// Taps a downlink at the network side, then sends it through MiTM +
     /// channel toward the UE.
-    fn downlink_send(&mut self, now: Timestamp, conn: u32, ue: Option<usize>, msg: L3Message) {
-        let Some(ue) = ue else {
+    fn downlink_send(&mut self, now: Timestamp, conn: u32, ue: Option<UeRef>, msg: L3Message) {
+        let released = matches!(msg, L3Message::Rrc(RrcMessage::Release { .. }));
+        let Some((r, idx)) = ue.and_then(|r| self.resolve(r).map(|idx| (r, idx))) else {
             // The UE was already gone when the network decided to transmit;
             // tap the transmission for the record anyway.
-            self.emit_event(now, conn, false, &msg, usize::MAX);
+            self.emit_event(now, conn, false, &msg, None);
+            if released {
+                self.snapshots.remove(&conn);
+            }
             return;
         };
         // The MiTM decision is taken *before* the network tap records the
@@ -556,21 +704,26 @@ impl RanSimulator {
         // ground-truth-labeled as the attack — exactly where Figure 2a puts
         // the malicious entry. The tap still records the original content:
         // that is what the network transmitted.
-        let ue_id = self.ues[ue].id;
+        let ue_id = self.slots[idx].entry.as_ref().expect("resolved slot is occupied").id;
         let decision = self.interceptor.on_downlink(ue_id, &msg);
         if let Intercept::Replace { taint, scope, .. } = &decision {
-            self.apply_taint(ue, *taint, *scope);
+            self.apply_taint(idx, *taint, *scope);
         }
-        self.emit_event(now, conn, false, &msg, ue);
+        self.emit_event(now, conn, false, &msg, Some(idx));
+        if released {
+            // Conn ids are never reused within a run, so once the release
+            // is tapped the cached snapshot can never be needed again.
+            self.snapshots.remove(&conn);
+        }
         let msg = match decision {
             Intercept::Pass => msg,
             Intercept::Drop => return,
             Intercept::Replace { message, .. } => message,
         };
-        self.deliver_downlink(now, ue, msg);
+        self.deliver_downlink(now, r, msg);
     }
 
-    fn deliver_downlink(&mut self, now: Timestamp, ue: usize, msg: L3Message) {
+    fn deliver_downlink(&mut self, now: Timestamp, ue: UeRef, msg: L3Message) {
         match self.channel.transmit() {
             ChannelOutcome::Lost => {}
             ChannelOutcome::Delivered { latency, retransmissions } => {
@@ -602,10 +755,16 @@ impl RanSimulator {
         }
     }
 
-    fn emit_event(&mut self, now: Timestamp, conn: u32, uplink: bool, msg: &L3Message, ue: usize) {
+    fn emit_event(
+        &mut self,
+        now: Timestamp,
+        conn: u32,
+        uplink: bool,
+        msg: &L3Message,
+        ue: Option<usize>,
+    ) {
         let snapshot = self.snapshot_for(conn);
-        let ue_opt = (ue != usize::MAX).then_some(ue);
-        self.emit_event_with_snapshot(now, conn, snapshot, uplink, msg, ue_opt);
+        self.emit_event_with_snapshot(now, conn, snapshot, uplink, msg, ue);
     }
 
     fn emit_event_with_snapshot(
@@ -619,7 +778,7 @@ impl RanSimulator {
     ) {
         let (ue_id, label) = match ue {
             Some(idx) => {
-                let entry = &mut self.ues[idx];
+                let entry = self.slots[idx].entry.as_mut().expect("resolved slot is occupied");
                 let label = match entry.taint {
                     // Still inside the unobservable-slot prefix: benign.
                     Some(TaintState::Burst { kind, skip, remaining }) if skip > 0 => {
@@ -671,26 +830,28 @@ impl RanSimulator {
             if uplink { xsec_proto::Direction::Uplink } else { xsec_proto::Direction::Downlink };
 
         // Raw capture: RRC goes to the F1AP tap, NAS to the NGAP tap.
-        match msg {
-            L3Message::Rrc(_) => {
-                let pdu = F1apPdu::wrap(conn, snapshot.rnti, self.config.gnb.cell, uplink, msg);
-                self.trace.push(TraceRecord {
-                    at: now,
-                    interface: "F1AP",
-                    uplink,
-                    summary: format!("{msg} rnti={}", snapshot.rnti),
-                    payload: pdu.encode(),
-                });
-            }
-            L3Message::Nas(_) => {
-                let pdu = NgapPdu::wrap(conn as u64, conn as u64, uplink, msg);
-                self.trace.push(TraceRecord {
-                    at: now,
-                    interface: "NGAP",
-                    uplink,
-                    summary: format!("{msg} conn={conn}"),
-                    payload: pdu.encode(),
-                });
+        if self.config.capture_trace {
+            match msg {
+                L3Message::Rrc(_) => {
+                    let pdu = F1apPdu::wrap(conn, snapshot.rnti, self.config.gnb.cell, uplink, msg);
+                    self.trace.push(TraceRecord {
+                        at: now,
+                        interface: "F1AP",
+                        uplink,
+                        summary: format!("{msg} rnti={}", snapshot.rnti),
+                        payload: pdu.encode(),
+                    });
+                }
+                L3Message::Nas(_) => {
+                    let pdu = NgapPdu::wrap(conn as u64, conn as u64, uplink, msg);
+                    self.trace.push(TraceRecord {
+                        at: now,
+                        interface: "NGAP",
+                        uplink,
+                        summary: format!("{msg} conn={conn}"),
+                        payload: pdu.encode(),
+                    });
+                }
             }
         }
 

@@ -149,6 +149,28 @@ impl BenignUe {
         }
     }
 
+    /// Creates a benign UE with an explicit session plan instead of drawing
+    /// one from the device profile. Handover re-registrations use this to
+    /// guarantee the UE presents the TMSI it carried from the source cell.
+    pub fn with_plan(
+        model: DeviceModel,
+        supi: Supi,
+        key: u64,
+        cached_tmsi: Option<Tmsi>,
+        plan: SessionPlan,
+    ) -> Self {
+        BenignUe {
+            model,
+            supi,
+            key,
+            capabilities: SecurityCapabilities::full(),
+            cached_tmsi,
+            plan,
+            stage: Stage::Off,
+            sent_capabilities: SecurityCapabilities::full(),
+        }
+    }
+
     /// The session plan committed at construction (visible for tests).
     pub fn plan(&self) -> &SessionPlan {
         &self.plan
