@@ -17,14 +17,16 @@ fn sample_actions() -> Vec<ControlAction> {
             id: 1,
             ttl,
             action: MitigationAction::ReleaseUe { conn: 42, cause: ReleaseCause::NetworkAbort },
+            trace: None,
         },
         ControlAction {
             id: 2,
             ttl,
             action: MitigationAction::BlacklistRnti { rnti: Rnti(0x4601) },
+            trace: Some(7),
         },
-        ControlAction { id: 3, ttl, action: MitigationAction::ForceReauth { conn: 7 } },
-        ControlAction { id: 4, ttl, action: MitigationAction::QuarantineCell { cell: CellId(1) } },
+        ControlAction { id: 3, ttl, action: MitigationAction::ForceReauth { conn: 7 }, trace: None },
+        ControlAction { id: 4, ttl, action: MitigationAction::QuarantineCell { cell: CellId(1) }, trace: None },
         ControlAction {
             id: 5,
             ttl,
@@ -33,6 +35,7 @@ fn sample_actions() -> Vec<ControlAction> {
                 max_setups: 1,
                 window: Duration::from_secs(1),
             },
+            trace: Some(0x1122_3344_5566_7788),
         },
     ]
 }
@@ -47,6 +50,7 @@ fn flood_assessment() -> ThreatAssessment {
         suspect_conns: (1..=16).collect(),
         suspect_rntis: (0..16).map(|i| Rnti(0x4601 + i)).collect(),
         dominant_cause: Some(EstablishmentCause::MoSignalling),
+        trace: Some(1),
     }
 }
 

@@ -132,9 +132,22 @@ fn main() {
         &closed2,
     ));
 
+    let incidents = closed.outcome.recorder.incidents();
+    text.push_str(&format!(
+        "\nflight recorder: {} incident trace(s) captured ({} dropped)\n",
+        incidents.len(),
+        closed.outcome.recorder.dropped_incidents(),
+    ));
+    for incident in &incidents {
+        let stages: Vec<&str> = incident.events.iter().map(|e| e.stage.name()).collect();
+        text.push_str(&format!("  trace {}: {}\n", incident.trace, stages.join(" -> ")));
+    }
+
     println!("{text}");
     xsec_bench::save_report("mitigate", &text);
     // The flood run exercises every stage; its snapshot is the canonical
-    // per-run exposition CI asserts on.
+    // per-run exposition CI asserts on, and its incident traces are the
+    // replayable detection->ack artifacts (incidents.jsonl + Perfetto).
     xsec_bench::save_metrics(&closed.outcome.metrics, "metrics");
+    xsec_bench::save_incidents(&closed.outcome.recorder, "incidents");
 }

@@ -97,6 +97,11 @@ fn main() {
     xsec_obs::info!(obs, "soak", "streaming {target} UEs ({shards} shards, quick={quick})");
     let mut engine = StreamingScenario::new(soak_config(target));
     let (mut pool, state) = ShardedMobiWatch::new(models, MobiWatchConfig::default(), shards);
+    // The soak has no E2 agent, so the driver is the ingest stage: it
+    // begins each record's trace and logs the ingest span; the pool logs
+    // inference/alert spans into the same recorder.
+    pool.attach_obs(obs);
+    let ring = obs.recorder.ring();
 
     let start = Instant::now();
     let bucket = Duration::from_millis(500);
@@ -114,6 +119,16 @@ fn main() {
         }
         let stream = extract_from_events_at(&events, records_total);
         for chunk in stream.records.chunks(256) {
+            for r in chunk {
+                let trace = obs.recorder.begin_trace(r.msg_id);
+                ring.record(xsec_obs::FlightEvent {
+                    trace,
+                    stage: xsec_obs::TraceStage::Ingest,
+                    at_us: r.timestamp.as_micros(),
+                    a: u64::from(r.du_ue_id),
+                    b: r.msg_id,
+                });
+            }
             pool.process_batch(chunk);
         }
         records_total += stream.records.len() as u64;
@@ -176,6 +191,7 @@ fn main() {
         );
     }
 
+    let incidents = obs.recorder.incidents().len();
     let report = json!({
         "quick": quick,
         "cores": cores,
@@ -191,6 +207,8 @@ fn main() {
         "records": records_total,
         "flagged_windows": flagged,
         "alerts": alerts,
+        "incidents": incidents,
+        "incidents_dropped": obs.recorder.dropped_incidents(),
         "peak_rss_kb": rss_kb,
         "rss_ceiling_mb": ceiling_mb,
         "wall_secs": wall,
@@ -203,7 +221,7 @@ fn main() {
         "Streaming soak\n==============\n\n\
          {} UEs streamed ({} handovers, {} storms), {} records scored\n\
          peak live {} / slab {} slots / detector tracked {} UEs\n\
-         {} flagged windows, {} alerts\n\
+         {} flagged windows, {} alerts, {incidents} incident traces\n\
          peak RSS {:.1} MB (ceiling {} MB), {:.1}s wall, {:.0} records/s\n\n\
          Wrote BENCH_soak.json\n",
         stats.spawned,
@@ -222,4 +240,5 @@ fn main() {
     );
     print!("{text}");
     save_report("soak", &text);
+    xsec_bench::save_incidents(&obs.recorder, "soak_incidents");
 }

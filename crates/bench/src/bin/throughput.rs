@@ -25,7 +25,7 @@ use xsec_attacks::DatasetBuilder;
 use xsec_bench::{obs, quick_mode, save_report};
 use xsec_dl::{FeatureConfig, Featurizer, Workspace};
 use xsec_mobiflow::{extract_from_events, TelemetryStream, UeMobiFlow};
-use xsec_obs::Obs;
+use xsec_obs::{FlightEvent, Obs, TraceStage};
 use xsec_types::AttackKind;
 
 /// Runs `f` until `min_secs` of wall clock have elapsed; returns
@@ -189,6 +189,77 @@ fn streaming_section(
     serde_json::Value::Object(out)
 }
 
+/// Flight-recorder overhead on the streaming path: the same per-record run
+/// with the recorder enabled (trace allocated at ingest, ring events
+/// recorded) and disabled (trace id 0 short-circuits every record call).
+/// CI gates the enabled run at <= 5% slower than disabled.
+fn recorder_section(
+    models: &DeployedModels,
+    records: &[UeMobiFlow],
+    min_secs: f64,
+    text: &mut String,
+) -> serde_json::Value {
+    struct Rig {
+        obs: Obs,
+        ring: xsec_obs::FlightRing,
+        watch: MobiWatch,
+    }
+    let rig = |enabled: bool| {
+        let obs = Obs::new();
+        obs.recorder.set_enabled(enabled);
+        let ring = obs.recorder.ring();
+        let (mut watch, _state) = MobiWatch::new(models.clone(), MobiWatchConfig::default());
+        watch.attach_obs(&obs);
+        Rig { obs, ring, watch }
+    };
+    fn pass(rig: &mut Rig, records: &[UeMobiFlow]) {
+        for r in records {
+            let trace = rig.obs.recorder.begin_trace(r.msg_id);
+            rig.ring.record(FlightEvent {
+                trace,
+                stage: TraceStage::Ingest,
+                at_us: r.timestamp.as_micros(),
+                a: u64::from(r.du_ue_id),
+                b: r.msg_id,
+            });
+            std::hint::black_box(rig.watch.process_record(r));
+        }
+    }
+    let mut on_rig = rig(true);
+    let mut off_rig = rig(false);
+    pass(&mut on_rig, records);
+    pass(&mut off_rig, records);
+    // Sequential time_loops drift (frequency scaling, cache state) by more
+    // than the effect being measured, so run the two modes in adjacent
+    // short rounds, ratio each pair (drift hits both sides of a pair
+    // alike), and take the median ratio across rounds.
+    let (mut on, mut off) = (0.0f64, 0.0f64);
+    let mut ratios = Vec::new();
+    for _ in 0..7 {
+        let (iters, secs) = time_loop(min_secs / 3.0, || pass(&mut on_rig, records));
+        let round_on = (iters * records.len() as u64) as f64 / secs;
+        let (iters, secs) = time_loop(min_secs / 3.0, || pass(&mut off_rig, records));
+        let round_off = (iters * records.len() as u64) as f64 / secs;
+        on = on.max(round_on);
+        off = off.max(round_off);
+        ratios.push(round_on / round_off);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let overhead = (1.0 - ratios[ratios.len() / 2]).max(0.0);
+    text.push_str(&format!(
+        "Flight recorder ({} records/pass):\n  \
+         enabled  {on:>12.0} records/s\n  \
+         disabled {off:>12.0} records/s  (overhead {:.1}%)\n\n",
+        records.len(),
+        overhead * 100.0,
+    ));
+    json!({
+        "on_records_per_sec": on,
+        "off_records_per_sec": off,
+        "overhead_frac": overhead,
+    })
+}
+
 /// Collects the final (scores, alert count) of a sharded run for parity.
 fn sharded_outcome(
     models: &DeployedModels,
@@ -266,6 +337,7 @@ fn main() {
     let mut text = String::from("Inference-engine throughput\n===========================\n\n");
     let batched = batched_section(&models, &eval_stream, min_secs, &mut text);
     let streaming = streaming_section(&models, &eval_stream.records, min_secs, &mut text);
+    let recorder = recorder_section(&models, &eval_stream.records, min_secs, &mut text);
     let sharded = sharded_section(
         &models,
         &eval_stream.records,
@@ -279,6 +351,7 @@ fn main() {
         "cores": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         "batched": batched,
         "streaming": streaming,
+        "recorder": recorder,
         "sharded": sharded,
     });
     std::fs::write(

@@ -23,7 +23,7 @@
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
-use xsec_obs::{HistogramSummary, Obs, Snapshot};
+use xsec_obs::{FlightRecorder, HistogramSummary, Obs, Snapshot};
 
 /// The harness-wide observability handle: stderr events filtered by
 /// `XSEC_LOG` (default `info`; `XSEC_LOG=off` silences progress chatter).
@@ -59,6 +59,25 @@ pub fn save_metrics(snapshot: &Snapshot, stem: &str) -> (PathBuf, PathBuf) {
     let obs = obs();
     xsec_obs::info!(obs, "bench", "metrics saved to {} and {}", prom.display(), json.display());
     (prom, json)
+}
+
+/// Writes a run's captured incident traces as `target/experiments/
+/// <stem>.jsonl` (replayable decision trace) and `<stem>_trace.json`
+/// (Perfetto/chrome://tracing), echoing both paths and the incident count.
+pub fn save_incidents(recorder: &FlightRecorder, stem: &str) -> (PathBuf, PathBuf) {
+    let (jsonl, perfetto) = recorder
+        .write_incident_files(Path::new("target/experiments"), stem)
+        .expect("write incident files");
+    let obs = obs();
+    xsec_obs::info!(
+        obs,
+        "bench",
+        "{} incident trace(s) saved to {} and {}",
+        recorder.incidents().len(),
+        jsonl.display(),
+        perfetto.display()
+    );
+    (jsonl, perfetto)
 }
 
 /// Renders a `stage  count  p50  p90  p99  max` table over the pipeline's

@@ -88,11 +88,17 @@ pub struct ControlAction {
     pub ttl: Duration,
     /// The enforcement primitive itself.
     pub action: MitigationAction,
+    /// Causal trace id linking this action back to the detection that
+    /// produced it. Optional on the wire (a trailing TLV, emitted only
+    /// when set) so payloads from older encoders — and decoders that
+    /// predate tracing — interoperate unchanged.
+    pub trace: Option<u64>,
 }
 
 // TLV tags. Header TLVs first, then one body tag per action variant.
 const TAG_ACTION_ID: u8 = 0x01;
 const TAG_TTL: u8 = 0x02;
+const TAG_TRACE_ID: u8 = 0x03;
 const TAG_RELEASE_UE: u8 = 0x10;
 const TAG_BLACKLIST_RNTI: u8 = 0x11;
 const TAG_FORCE_REAUTH: u8 = 0x12;
@@ -194,6 +200,12 @@ impl ControlAction {
             }
         };
         put_tlv(&mut buf, tag, &body)?;
+        // The trace id trails the body so fixed `[id, ttl, body]` payload
+        // prefixes (and their consumers) are byte-identical with tracing
+        // off — the TLV is additive, never reordering.
+        if let Some(trace) = self.trace {
+            put_tlv(&mut buf, TAG_TRACE_ID, &trace.to_be_bytes())?;
+        }
         Ok(buf.to_vec())
     }
 
@@ -207,6 +219,7 @@ impl ControlAction {
         let mut id: Option<u32> = None;
         let mut ttl: Option<Duration> = None;
         let mut action: Option<MitigationAction> = None;
+        let mut trace: Option<u64> = None;
         while buf.has_remaining() {
             if buf.remaining() < 3 {
                 return Err(err("truncated TLV header"));
@@ -228,6 +241,10 @@ impl ControlAction {
                 TAG_TTL => {
                     take_exact(&value, 8, "ttl")?;
                     set_once(&mut ttl, Duration::from_micros(value.get_u64()), "ttl")?;
+                }
+                TAG_TRACE_ID => {
+                    take_exact(&value, 8, "trace id")?;
+                    set_once(&mut trace, value.get_u64(), "trace id")?;
                 }
                 TAG_RELEASE_UE => {
                     take_exact(&value, 5, "release body")?;
@@ -268,6 +285,8 @@ impl ControlAction {
             id: id.ok_or_else(|| err("missing action id TLV"))?,
             ttl: ttl.ok_or_else(|| err("missing ttl TLV"))?,
             action: action.ok_or_else(|| err("missing action body TLV"))?,
+            // Absent is fine: the trace TLV is optional by design.
+            trace,
         })
     }
 }
@@ -299,21 +318,25 @@ mod tests {
                 id: 1,
                 ttl: Duration::from_secs(10),
                 action: MitigationAction::ReleaseUe { conn: 7, cause: ReleaseCause::NetworkAbort },
+                trace: None,
             },
             ControlAction {
                 id: 2,
                 ttl: Duration::from_secs(30),
                 action: MitigationAction::BlacklistRnti { rnti: Rnti(0x4612) },
+                trace: None,
             },
             ControlAction {
                 id: 3,
                 ttl: Duration::from_secs(5),
                 action: MitigationAction::ForceReauth { conn: 12 },
+                trace: Some(0x1122_3344_5566_7788),
             },
             ControlAction {
                 id: 4,
                 ttl: Duration::from_millis(2500),
                 action: MitigationAction::QuarantineCell { cell: CellId(1) },
+                trace: None,
             },
             ControlAction {
                 id: 5,
@@ -323,6 +346,7 @@ mod tests {
                     max_setups: 3,
                     window: Duration::from_millis(500),
                 },
+                trace: Some(7),
             },
         ]
     }
@@ -339,7 +363,15 @@ mod tests {
     fn decode_rejects_truncation_everywhere() {
         for action in samples() {
             let bytes = action.encode();
+            // A traced payload cut exactly before its trailing trace TLV is
+            // a complete untraced frame by design; every other cut is torn.
+            let optional_boundary = action.trace.map(|_| bytes.len() - (3 + 8));
             for cut in 0..bytes.len() {
+                if Some(cut) == optional_boundary {
+                    let decoded = ControlAction::decode(&bytes[..cut]).unwrap();
+                    assert_eq!(decoded, ControlAction { trace: None, ..action.clone() });
+                    continue;
+                }
                 assert!(
                     ControlAction::decode(&bytes[..cut]).is_err(),
                     "{action:?} cut at {cut} decoded"
@@ -362,6 +394,30 @@ mod tests {
         // Strip the body TLV: header-only payloads are incomplete.
         let header_only = &action.encode()[..7 + 11]; // id TLV (7) + ttl TLV (11)
         assert!(ControlAction::decode(header_only).is_err(), "missing body accepted");
+    }
+
+    #[test]
+    fn trace_tlv_is_optional_and_trailing() {
+        // Tolerated-as-absent: a payload with no trace TLV decodes to
+        // `trace: None` — exactly what pre-tracing encoders emit.
+        let untraced = &samples()[0];
+        assert_eq!(untraced.trace, None);
+        let decoded = ControlAction::decode(&untraced.encode()).unwrap();
+        assert_eq!(decoded.trace, None);
+
+        // And the converse: stripping the trailing trace TLV off a traced
+        // payload yields the same action minus the trace — old decoders
+        // that reject tag 0x03 see a frame they already understand.
+        let traced = &samples()[2];
+        let bytes = traced.encode();
+        let stripped = &bytes[..bytes.len() - (3 + 8)]; // tag + len + u64
+        let decoded = ControlAction::decode(stripped).unwrap();
+        assert_eq!(decoded, ControlAction { trace: None, ..traced.clone() });
+
+        // Duplicated trace TLVs stay errors — optional, not lax.
+        let mut doubled = bytes.clone();
+        doubled.extend_from_slice(&bytes[bytes.len() - (3 + 8)..]);
+        assert!(ControlAction::decode(&doubled).is_err(), "duplicate trace TLV accepted");
     }
 
     #[test]

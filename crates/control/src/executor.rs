@@ -79,6 +79,8 @@ pub struct AckResolution {
     pub success: bool,
     /// Virtual detection→ack latency (set only on success).
     pub detection_to_ack: Option<Duration>,
+    /// Causal trace id of the detection the action mitigated, if traced.
+    pub trace: Option<u64>,
 }
 
 impl TrackedAction {
@@ -130,8 +132,9 @@ impl ActionExecutor {
 
     /// Returns every payload due on the wire now — first transmissions for
     /// pending actions plus retries for overdue unacked ones — each with its
-    /// routing cell.
-    pub fn take_due(&mut self, now: Timestamp) -> Vec<(Option<CellId>, Vec<u8>)> {
+    /// routing cell and the causal trace id it mitigates (for ack
+    /// correlation at the RIC pump).
+    pub fn take_due(&mut self, now: Timestamp) -> Vec<(Option<CellId>, Option<u64>, Vec<u8>)> {
         let mut due = Vec::new();
         for (idx, tracked) in self.tracked.iter_mut().enumerate() {
             let attempts = match tracked.state {
@@ -146,7 +149,7 @@ impl ActionExecutor {
             };
             tracked.state = ActionState::Sent { attempts: attempts + 1, last_sent: now };
             self.inflight.push(idx);
-            due.push((tracked.cell, tracked.action.encode()));
+            due.push((tracked.cell, tracked.action.trace, tracked.action.encode()));
         }
         due
     }
@@ -166,6 +169,7 @@ impl ActionExecutor {
                     kind: tracked.action.action.name(),
                     success,
                     detection_to_ack: tracked.detection_to_ack(),
+                    trace: tracked.action.trace,
                 });
             }
             // Already resolved — this ack belongs to a stale retry; consume
@@ -239,6 +243,7 @@ mod tests {
             id,
             ttl: Duration::from_secs(10),
             action: MitigationAction::BlacklistRnti { rnti: Rnti(id as u16) },
+            trace: Some(id as u64 + 100),
         }
     }
 
@@ -250,13 +255,15 @@ mod tests {
         let due = ex.take_due(ms(150));
         assert_eq!(due.len(), 1);
         assert_eq!(due[0].0, Some(CellId(3)), "routing cell rides along");
-        assert_eq!(ControlAction::decode(&due[0].1).unwrap(), action(1));
+        assert_eq!(due[0].1, Some(101), "trace id rides along for ack correlation");
+        assert_eq!(ControlAction::decode(&due[0].2).unwrap(), action(1));
         // Nothing further due before the retry deadline.
         assert!(ex.take_due(ms(200)).is_empty());
         let res = ex.on_ack(true, ms(230)).expect("ack resolves the send");
         assert_eq!(res.id, 1);
         assert_eq!(res.kind, "blacklist-rnti");
         assert!(res.success);
+        assert_eq!(res.trace, Some(101), "resolution names the trace it closes");
         assert_eq!(res.detection_to_ack, Some(Duration::from_millis(130)));
         assert_eq!(ex.tally(), (1, 0, 0, 0));
         assert_eq!(ex.detection_to_ack_latencies(), vec![Duration::from_millis(130)]);

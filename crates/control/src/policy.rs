@@ -42,6 +42,9 @@ pub struct ThreatAssessment {
     pub suspect_rntis: Vec<Rnti>,
     /// Most common establishment cause among implicated setup requests.
     pub dominant_cause: Option<EstablishmentCause>,
+    /// Causal trace id of the record that triggered the detection; stamped
+    /// onto every action the policy engine instantiates for it.
+    pub trace: Option<u64>,
 }
 
 /// Maps an LLM attack title (the analyzer's free-text naming) back to the
@@ -295,6 +298,9 @@ impl PolicyEngine {
         for template in &rule.templates {
             self.instantiate(template, assessment, rule.ttl, &mut actions);
         }
+        for action in &mut actions {
+            action.trace = assessment.trace;
+        }
         if actions.is_empty() {
             return PolicyDecision::Supervise(SupervisionTicket {
                 assessment: assessment.clone(),
@@ -354,7 +360,7 @@ impl PolicyEngine {
     fn wrap(&mut self, action: MitigationAction, ttl: Duration) -> ControlAction {
         let id = self.next_id;
         self.next_id += 1;
-        ControlAction { id, ttl, action }
+        ControlAction { id, ttl, action, trace: None }
     }
 }
 
@@ -372,6 +378,7 @@ mod tests {
             suspect_conns: vec![4, 9],
             suspect_rntis: vec![Rnti(0x0101), Rnti(0x0102)],
             dominant_cause: Some(EstablishmentCause::MoSignalling),
+            trace: Some(42),
         }
     }
 
@@ -392,6 +399,8 @@ mod tests {
                 .count(),
             2
         );
+        // Every instantiated action inherits the assessment's trace id.
+        assert!(actions.iter().all(|a| a.trace == Some(42)), "trace id not propagated");
         // Ids are unique.
         let mut ids: Vec<_> = actions.iter().map(|a| a.id).collect();
         ids.sort();

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use xsec_llm::{cross_compare, CrossVerdict, LlmBackend, ParsedResponse, PromptTemplate};
 use xsec_mobiflow::{decode_ue_record, UeMobiFlow};
-use xsec_obs::{Histogram, Obs};
+use xsec_obs::{FlightEvent, FlightRecorder, Histogram, Obs, TraceStage};
 use xsec_ric::{XApp, XAppContext};
 use xsec_types::Timestamp;
 
@@ -46,6 +46,7 @@ pub struct LlmAnalyzer {
     topic: String,
     state: Arc<Mutex<AnalyzerState>>,
     turnaround: Histogram,
+    recorder: FlightRecorder,
 }
 
 impl LlmAnalyzer {
@@ -59,15 +60,18 @@ impl LlmAnalyzer {
                 topic: topic.to_string(),
                 state: state.clone(),
                 turnaround: Obs::new().histogram("xsec_analyzer_turnaround_us", &[]),
+                recorder: FlightRecorder::new(),
             },
             state,
         )
     }
 
-    /// Re-homes the turnaround histogram into `obs`'s registry. Call before
-    /// analysis starts — samples do not carry over.
+    /// Re-homes the turnaround histogram into `obs`'s registry and flight
+    /// recording into `obs`'s recorder. Call before analysis starts —
+    /// samples do not carry over.
     pub fn attach_obs(&mut self, obs: &Obs) {
         self.turnaround = obs.histogram("xsec_analyzer_turnaround_us", &[]);
+        self.recorder = obs.recorder.clone();
     }
 
     /// The topic this analyzer listens on.
@@ -87,7 +91,14 @@ impl LlmAnalyzer {
         };
         let parsed = ParsedResponse::parse(&response);
         let verdict = cross_compare(true, &parsed);
-        self.turnaround.observe_duration(start.elapsed());
+        self.turnaround.observe_duration_with_exemplar(start.elapsed(), alert.trace);
+        self.recorder.record_stage(FlightEvent {
+            trace: alert.trace,
+            stage: TraceStage::Verdict,
+            at_us: alert.at_time.as_micros(),
+            a: u64::from(matches!(verdict, CrossVerdict::ConfirmedAnomalous)),
+            b: u64::from(matches!(verdict, CrossVerdict::NeedsHumanReview { .. })),
+        });
         let finding = AnalyzerFinding {
             at_record: alert.at_record,
             score: alert.score,
@@ -131,6 +142,7 @@ impl XApp for LlmAnalyzer {
         // raw completion text: verdict, named attacks, and the evidence
         // records needed to scope a response.
         let notice = crate::mitigator::FindingNotice {
+            trace: alert.trace,
             at_record: alert.at_record,
             at_time: alert.at_time,
             score: alert.score,
@@ -186,6 +198,7 @@ mod tests {
             }
         }
         AnomalyAlert {
+            trace: 0,
             at_record: id,
             at_time: Timestamp(id * 500),
             score: 0.5,

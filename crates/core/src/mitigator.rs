@@ -21,7 +21,7 @@ use xsec_control::{
     PolicyEngine, SupervisionTicket, ThreatAssessment,
 };
 use xsec_mobiflow::{decode_ue_record, UeMobiFlow};
-use xsec_obs::Obs;
+use xsec_obs::{FlightEvent, Obs, TraceStage};
 use xsec_proto::MessageKind;
 use xsec_ric::{LatencyClass, XApp, XAppContext};
 use xsec_types::{
@@ -44,6 +44,10 @@ pub const A1_POLICY_STATUS_TOPIC: &str = "a1-policy-status";
 /// The analyzer's conclusion about one alert, serialized for the router.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FindingNotice {
+    /// Causal trace id of the detection (0 = untraced), carried from the
+    /// alert so the policy decision and Control Request join the incident
+    /// trace.
+    pub trace: u64,
     /// Stream index of the flagged window's last record.
     pub at_record: u64,
     /// Virtual time of that record (the detection timestamp).
@@ -183,6 +187,13 @@ impl Mitigator {
         let now = state.clock;
         match state.policy.decide(&assessment) {
             PolicyDecision::Act(actions) => {
+                self.obs.recorder.record_stage(FlightEvent {
+                    trace: notice.trace,
+                    stage: TraceStage::Policy,
+                    at_us: now.as_micros(),
+                    a: u64::from(assessment.confidence.to_bits()),
+                    b: actions.len() as u64,
+                });
                 for action in actions {
                     self.obs
                         .counter(
@@ -192,7 +203,7 @@ impl Mitigator {
                         .inc();
                     state.executor.submit(action, Some(assessment.cell), assessment.detected_at, now);
                 }
-                ship_due(&mut state, now, ctx);
+                ship_due(&mut state, now, ctx, &self.obs);
             }
             PolicyDecision::Supervise(ticket) => state.supervised.push(ticket),
             PolicyDecision::StandDown => {}
@@ -200,13 +211,22 @@ impl Mitigator {
     }
 }
 
-/// Ships everything the executor deems due, each action pinned to its cell.
-fn ship_due(state: &mut MitigatorState, now: Timestamp, ctx: &mut XAppContext<'_>) {
-    for (cell, payload) in state.executor.take_due(now) {
-        match cell {
-            Some(cell) => ctx.send_control_to(cell, payload),
-            None => ctx.send_control(payload),
+/// Ships everything the executor deems due, each action pinned to its cell
+/// and carrying its trace for ack correlation at the pump.
+fn ship_due(state: &mut MitigatorState, now: Timestamp, ctx: &mut XAppContext<'_>, obs: &Obs) {
+    for (cell, trace, payload) in state.executor.take_due(now) {
+        if let Some(trace) = trace {
+            let action_id =
+                xsec_control::ControlAction::decode(&payload).map(|a| a.id).unwrap_or(0);
+            obs.recorder.record_stage(FlightEvent {
+                trace,
+                stage: TraceStage::ControlShip,
+                at_us: now.as_micros(),
+                a: u64::from(action_id),
+                b: payload.len() as u64,
+            });
         }
+        ctx.send_control_traced(cell, trace, payload);
     }
 }
 
@@ -273,6 +293,7 @@ pub fn assess(notice: &FindingNotice, records: &[UeMobiFlow]) -> ThreatAssessmen
         suspect_conns,
         suspect_rntis,
         dominant_cause,
+        trace: (notice.trace != 0).then_some(notice.trace),
     }
 }
 
@@ -308,7 +329,7 @@ impl XApp for Mitigator {
         state.clock = state.clock.max(window_end);
         let now = state.clock;
         state.executor.tick(now);
-        ship_due(&mut state, now, ctx);
+        ship_due(&mut state, now, ctx, &self.obs);
     }
 
     fn on_message(&mut self, ctx: &mut XAppContext<'_>, topic: &str, payload: &[u8]) {
@@ -349,11 +370,23 @@ impl XApp for Mitigator {
                             &[("kind", res.kind)],
                         )
                         .inc();
+                    let trace = res.trace.unwrap_or(0);
+                    let mut latency_us = 0;
                     if let Some(latency) = res.detection_to_ack {
+                        latency_us = latency.as_micros();
                         self.obs
                             .histogram("xsec_control_detection_to_ack_us", &[("kind", res.kind)])
-                            .observe(latency.as_micros());
+                            .observe_with_exemplar(latency_us, trace);
                     }
+                    // The ack closes the causal chain: detection → policy →
+                    // control → enforcement → acknowledged.
+                    self.obs.recorder.record_stage(FlightEvent {
+                        trace,
+                        stage: TraceStage::Ack,
+                        at_us: now.as_micros(),
+                        a: u64::from(res.success),
+                        b: latency_us,
+                    });
                 }
             }
             _ => {}
@@ -387,6 +420,7 @@ mod tests {
 
     fn notice(attacks: Vec<String>, records: &[UeMobiFlow]) -> FindingNotice {
         FindingNotice {
+            trace: 0,
             at_record: 10,
             at_time: Timestamp(1_000),
             score: 0.5,

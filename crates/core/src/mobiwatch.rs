@@ -14,7 +14,9 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use xsec_dl::{FeatureRing, Featurizer, Workspace, FEATURES_PER_RECORD};
 use xsec_mobiflow::{encode_ue_record, UeMobiFlow};
-use xsec_obs::{Counter, Histogram, Obs};
+use xsec_obs::{
+    Counter, FlightEvent, FlightRecorder, FlightRing, Histogram, Obs, TraceStage,
+};
 use xsec_ric::{XApp, XAppContext};
 use xsec_types::Timestamp;
 
@@ -83,6 +85,11 @@ impl Default for MobiWatchConfig {
 /// One alert as published to the analyzer.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AnomalyAlert {
+    /// Causal trace id of the record that completed the flagged window
+    /// (0 = untraced; ids start at 1). Downstream xApps propagate it so the
+    /// flight recorder can stitch detection → mitigation → ack into one
+    /// incident trace.
+    pub trace: u64,
     /// Stream index of the last record in the flagged window.
     pub at_record: u64,
     /// Virtual time of that record.
@@ -120,6 +127,8 @@ pub struct MobiWatch {
     last_publish_at: Option<u64>,
     state: Arc<Mutex<MobiWatchState>>,
     metrics: WatchMetrics,
+    recorder: FlightRecorder,
+    flight: FlightRing,
 }
 
 impl MobiWatch {
@@ -133,6 +142,8 @@ impl MobiWatch {
         let metrics = WatchMetrics::register(&Obs::new(), config.detector);
         // The LSTM consumes window + 1 rows (sequence plus predicted step).
         let ring = FeatureRing::new(FEATURES_PER_RECORD, models.feature_config.window + 1);
+        let recorder = FlightRecorder::new();
+        let flight = recorder.ring();
         (
             MobiWatch {
                 models,
@@ -146,15 +157,20 @@ impl MobiWatch {
                 last_publish_at: None,
                 state: state.clone(),
                 metrics,
+                recorder,
+                flight,
             },
             state,
         )
     }
 
-    /// Re-homes the xApp's instruments into `obs`'s registry. Call before
-    /// feeding records (deployment time) — samples do not carry over.
+    /// Re-homes the xApp's instruments into `obs`'s registry and its flight
+    /// recording into `obs`'s recorder. Call before feeding records
+    /// (deployment time) — samples do not carry over.
     pub fn attach_obs(&mut self, obs: &Obs) {
         self.metrics = WatchMetrics::register(obs, self.config.detector);
+        self.recorder = obs.recorder.clone();
+        self.flight = self.recorder.ring();
     }
 
     /// The sliding-window length in force.
@@ -210,7 +226,19 @@ impl MobiWatch {
             }
         };
 
-        self.metrics.inference_latency.observe_duration(inference_start.elapsed());
+        // Recover the causal trace the E2 agent rooted for this record and
+        // log the inference span (skipped entirely when untraced).
+        let trace = self.recorder.trace_for(record.msg_id);
+        self.metrics
+            .inference_latency
+            .observe_duration_with_exemplar(inference_start.elapsed(), trace);
+        self.flight.record(FlightEvent {
+            trace,
+            stage: TraceStage::Inference,
+            at_us: record.timestamp.as_micros(),
+            a: u64::from(score.to_bits()),
+            b: u64::from(threshold.value.to_bits()),
+        });
 
         let flagged = threshold.is_anomalous(score);
         let record_index = self.records_seen - 1;
@@ -230,12 +258,23 @@ impl MobiWatch {
         let context = self.config.context_records + n;
         let start = self.raw_history.len().saturating_sub(context);
         let alert = AnomalyAlert {
+            trace,
             at_record: record_index,
             at_time: record.timestamp,
             score,
             threshold: threshold.value,
             records: self.raw_history.iter().skip(start).map(encode_ue_record).collect(),
         };
+        // A detection fired: freeze this trace's causal slice and append the
+        // alert span to it.
+        self.recorder.mark_incident(trace);
+        self.recorder.record_stage(FlightEvent {
+            trace,
+            stage: TraceStage::Alert,
+            at_us: record.timestamp.as_micros(),
+            a: u64::from(score.to_bits()),
+            b: u64::from(threshold.value.to_bits()),
+        });
         self.state.lock().alerts.push(alert.clone());
         self.metrics.alerts.inc();
         Some(alert)

@@ -18,7 +18,7 @@ use xsec_dl::{Confusion, FeatureConfig, Featurizer};
 use xsec_e2::{in_proc_pair, InProcTransport, RicAgent, RicAgentConfig};
 use xsec_llm::{ModelPersonality, SimulatedExpert};
 use xsec_mobiflow::{extract_from_events, extract_from_events_at, TelemetryStream};
-use xsec_obs::{Obs, Snapshot};
+use xsec_obs::{FlightRecorder, Obs, Snapshot};
 use xsec_ran::sim::{RanSimulator, SimReport};
 use xsec_ran::stream::{StreamStats, StreamingScenario};
 use xsec_ric::{RicPlatform, SubscriptionSpec};
@@ -107,6 +107,9 @@ pub struct PipelineOutcome {
     /// decode, MobiWatch featurize/inference, analyzer turnaround,
     /// per-agent control-ack, detection→ack) and every stage counter.
     pub metrics: Snapshot,
+    /// The run's flight recorder: captured incident traces ready for
+    /// JSONL/Perfetto export via [`FlightRecorder::write_incident_files`].
+    pub recorder: FlightRecorder,
 }
 
 /// What one *live* closed-loop run produced: the pipeline outcome plus the
@@ -378,6 +381,9 @@ impl Pipeline {
         max_virtual: Duration,
     ) -> StreamingOutcome {
         let mut d = self.deploy();
+        // Streaming cells keep their metrics local, but enforcement spans
+        // must land in the deployment's incident traces.
+        engine.attach_recorder(&d.obs.recorder);
         let period = Duration::from_millis(u64::from(self.config.report_period_ms));
         let hard_stop = Timestamp::ZERO + max_virtual;
         let mut bucket_end = Timestamp::ZERO + period;
@@ -452,6 +458,7 @@ impl Pipeline {
             mean_handler_latency_us: d.platform.latency().mean_us(),
             mitigation: d.mitigator_state.lock().summary(),
             metrics: d.obs.snapshot(),
+            recorder: d.obs.recorder.clone(),
         }
     }
 }

@@ -31,7 +31,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 use xsec_dl::{FeatureRing, Featurizer, Workspace, FEATURES_PER_RECORD};
 use xsec_mobiflow::{encode_ue_record, TelemetryStream, UeMobiFlow};
-use xsec_obs::Obs;
+use xsec_obs::{FlightEvent, FlightRecorder, FlightRing, Obs, TraceStage};
 use xsec_ric::{XApp, XAppContext};
 use xsec_types::Timestamp;
 
@@ -108,6 +108,11 @@ pub struct ShardedMobiWatch {
     context: VecDeque<UeMobiFlow>,
     state: Arc<Mutex<MobiWatchState>>,
     metrics: WatchMetrics,
+    /// Flight recording happens exclusively on the ingest thread, post
+    /// merge, in global record order — so the recorded causal slices are
+    /// invariant in the shard count, like every other output of the pool.
+    recorder: FlightRecorder,
+    flight: FlightRing,
     workers: Vec<JoinHandle<()>>,
     to_shards: Vec<Sender<ToShard>>,
     from_shards: Option<Receiver<ShardBatch>>,
@@ -127,6 +132,8 @@ impl ShardedMobiWatch {
         assert!(shards > 0, "shard count must be positive");
         let state = Arc::new(Mutex::new(MobiWatchState::default()));
         let metrics = WatchMetrics::register(&Obs::new(), config.detector);
+        let recorder = FlightRecorder::new();
+        let flight = recorder.ring();
         (
             ShardedMobiWatch {
                 models,
@@ -139,6 +146,8 @@ impl ShardedMobiWatch {
                 context: VecDeque::new(),
                 state: state.clone(),
                 metrics,
+                recorder,
+                flight,
                 workers: Vec::new(),
                 to_shards: Vec::new(),
                 from_shards: None,
@@ -152,6 +161,8 @@ impl ShardedMobiWatch {
     pub fn attach_obs(&mut self, obs: &Obs) {
         assert!(self.workers.is_empty(), "attach_obs must precede the first batch");
         self.metrics = WatchMetrics::register(obs, self.config.detector);
+        self.recorder = obs.recorder.clone();
+        self.flight = self.recorder.ring();
     }
 
     /// The sliding-window length in force.
@@ -190,6 +201,11 @@ impl ShardedMobiWatch {
     pub fn process_batch(&mut self, records: &[UeMobiFlow]) -> Vec<AnomalyAlert> {
         self.ensure_started();
         let batch_start = self.records_seen;
+        // Causal traces for this batch, indexed by batch offset. Looked up
+        // here (the single thread that owns stream order) so the merge below
+        // can stamp flight events without shipping ids through the shards.
+        let traces: Vec<u64> =
+            records.iter().map(|r| self.recorder.trace_for(r.msg_id)).collect();
         for record in records {
             let t0 = Instant::now();
             let mut features = std::mem::take(&mut self.feature_buf);
@@ -227,6 +243,22 @@ impl ShardedMobiWatch {
         // record index restores the stream order regardless of shard count.
         scores.sort_unstable_by_key(|(i, _, _)| *i);
         alerts.sort_unstable_by_key(|(i, _)| *i);
+        // Log one inference span per scored record, in global record order —
+        // identical timestamps and payloads to the single-threaded xApp's.
+        let threshold = match self.config.detector {
+            Detector::Autoencoder => self.models.ae_threshold.value,
+            Detector::Lstm => self.models.lstm_threshold.value,
+        };
+        for &(index, score, _) in &scores {
+            let offset = (index - batch_start) as usize;
+            self.flight.record(FlightEvent {
+                trace: traces[offset],
+                stage: TraceStage::Inference,
+                at_us: records[offset].timestamp.as_micros(),
+                a: u64::from(score.to_bits()),
+                b: u64::from(threshold.to_bits()),
+            });
+        }
         // Attach global alert context: the trailing `keep` records of the
         // stream *as of the alert's record* — exactly what the
         // single-threaded MobiWatch's history would hold. Shards can't build
@@ -237,7 +269,8 @@ impl ShardedMobiWatch {
         let alerts: Vec<AnomalyAlert> = alerts
             .into_iter()
             .map(|(index, mut alert)| {
-                let upto = &records[..=(index - batch_start) as usize];
+                let offset = (index - batch_start) as usize;
+                let upto = &records[..=offset];
                 let from_batch = upto.len().min(keep);
                 let from_tail = (keep - from_batch).min(self.context.len());
                 alert.records = self
@@ -247,6 +280,15 @@ impl ShardedMobiWatch {
                     .chain(upto[upto.len() - from_batch..].iter())
                     .map(encode_ue_record)
                     .collect();
+                alert.trace = traces[offset];
+                self.recorder.mark_incident(alert.trace);
+                self.recorder.record_stage(FlightEvent {
+                    trace: alert.trace,
+                    stage: TraceStage::Alert,
+                    at_us: alert.at_time.as_micros(),
+                    a: u64::from(alert.score.to_bits()),
+                    b: u64::from(alert.threshold.to_bits()),
+                });
                 alert
             })
             .collect();
@@ -366,7 +408,10 @@ fn shard_loop(
                     // merge — a shard only sees its own UEs, but the analyst
                     // (and the LLM behind it) needs the surrounding *stream*
                     // to recognize e.g. a flood of one-shot connections.
+                    // The trace id, like the context records, is stamped by
+                    // the ingest thread on merge.
                     let alert = AnomalyAlert {
+                        trace: 0,
                         at_record: index,
                         at_time,
                         score,

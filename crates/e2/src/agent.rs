@@ -12,7 +12,7 @@ use crate::e2sm::{KpmIndication, RAN_FUNCTION_MOBIFLOW};
 use crate::transport::E2Transport;
 use std::collections::BTreeMap;
 use xsec_mobiflow::UeMobiFlow;
-use xsec_obs::{Counter, Obs};
+use xsec_obs::{Counter, FlightEvent, FlightRecorder, FlightRing, Obs, TraceStage};
 use xsec_types::{CellId, Duration, GnbId, Result, Timestamp, XsecError};
 
 /// Agent identity/configuration.
@@ -59,6 +59,10 @@ pub struct RicAgent<T: E2Transport> {
     log: Vec<UeMobiFlow>,
     control_inbox: Vec<Vec<u8>>,
     metrics: AgentMetrics,
+    /// The causal flight recorder: every pushed record opens a trace here
+    /// (keyed by `msg_id`), which downstream stages recover and extend.
+    recorder: FlightRecorder,
+    ring: FlightRing,
 }
 
 impl<T: E2Transport> RicAgent<T> {
@@ -71,6 +75,8 @@ impl<T: E2Transport> RicAgent<T> {
             cells: vec![config.cell],
         };
         transport.send(&setup.encode())?;
+        let recorder = FlightRecorder::new();
+        let ring = recorder.ring();
         Ok(RicAgent {
             config,
             transport,
@@ -79,17 +85,21 @@ impl<T: E2Transport> RicAgent<T> {
             log: Vec::new(),
             control_inbox: Vec::new(),
             metrics: AgentMetrics::register(&Obs::new()),
+            recorder,
+            ring,
         })
     }
 
     /// Re-homes the agent's counters into `obs` (accumulated counts are
-    /// carried over).
+    /// carried over) and its trace root into `obs`'s flight recorder.
     pub fn attach_obs(&mut self, obs: &Obs) {
         let metrics = AgentMetrics::register(obs);
         metrics.records_pushed.add(self.metrics.records_pushed.get());
         metrics.indications_sent.add(self.metrics.indications_sent.get());
         metrics.controls_received.add(self.metrics.controls_received.get());
         self.metrics = metrics;
+        self.recorder = obs.recorder.clone();
+        self.ring = self.recorder.ring();
     }
 
     /// Whether the RIC accepted our function.
@@ -109,9 +119,19 @@ impl<T: E2Transport> RicAgent<T> {
         self.log.len() - min_cursor
     }
 
-    /// The CU instrumentation hook: one record per observed message.
+    /// The CU instrumentation hook: one record per observed message. Each
+    /// record roots a causal trace (keyed by its `msg_id`) and logs the
+    /// ingest span into the flight recorder.
     pub fn push_record(&mut self, record: UeMobiFlow) {
         self.metrics.records_pushed.inc();
+        let trace = self.recorder.begin_trace(record.msg_id);
+        self.ring.record(FlightEvent {
+            trace,
+            stage: TraceStage::Ingest,
+            at_us: record.timestamp.as_micros(),
+            a: u64::from(record.du_ue_id),
+            b: record.msg_id,
+        });
         self.log.push(record);
     }
 

@@ -328,6 +328,7 @@ mod tests {
                 max_setups: 2,
                 window: xsec_types::Duration::from_millis(400),
             },
+            trace: Some(0xDEAD_BEEF),
         }
     }
 
@@ -362,7 +363,12 @@ mod tests {
                 window: Duration::from_micros(span_us),
             },
         };
-        xsec_control::ControlAction { id, ttl: Duration::from_micros(ttl_us), action }
+        xsec_control::ControlAction {
+            id,
+            ttl: Duration::from_micros(ttl_us),
+            action,
+            trace: span_us.is_multiple_of(2).then_some(span_us),
+        }
     }
 
     #[test]

@@ -85,7 +85,19 @@ impl Snapshot {
                         writeln!(out, "{}{} {v}", sample.name, label_block(&sample.labels, None));
                 }
                 SampleValue::Histogram(h) => {
+                    // OpenMetrics-style exemplar on the bucket that owns
+                    // the exemplified sample, linking the quantile back to
+                    // its incident trace id.
+                    let exemplar_le = h.exemplar.and_then(|(value, _)| {
+                        h.buckets.iter().map(|(le, _)| *le).find(|le| *le >= value)
+                    });
                     for (le, cum) in &h.buckets {
+                        let suffix = match (h.exemplar, exemplar_le) {
+                            (Some((value, trace)), Some(owner)) if owner == *le => {
+                                format!(" # {{trace_id=\"{trace}\"}} {value}")
+                            }
+                            _ => String::new(),
+                        };
                         let le = if *le == u64::MAX {
                             "+Inf".to_string()
                         } else {
@@ -93,7 +105,7 @@ impl Snapshot {
                         };
                         let _ = writeln!(
                             out,
-                            "{}_bucket{} {cum}",
+                            "{}_bucket{} {cum}{suffix}",
                             sample.name,
                             label_block(&sample.labels, Some(("le", &le))),
                         );
@@ -141,6 +153,12 @@ impl Snapshot {
                          \"p50\":{:.3},\"p90\":{:.3},\"p99\":{:.3}",
                         h.count, h.sum, h.max, h.mean, h.p50, h.p90, h.p99,
                     );
+                    if let Some((value, trace)) = h.exemplar {
+                        let _ = write!(
+                            out,
+                            ",\"exemplar\":{{\"value\":{value},\"trace_id\":{trace}}}",
+                        );
+                    }
                 }
             }
             out.push('}');
@@ -150,15 +168,28 @@ impl Snapshot {
     }
 
     /// Writes `<stem>.prom` and `<stem>.json` under `dir` (created if
-    /// missing); returns both paths.
+    /// missing); returns both paths. Each file lands via temp-file +
+    /// rename, so a concurrent reader (CI artifact scrape, a scraper
+    /// polling mid-run) never observes a partially written exposition.
     pub fn write_files(&self, dir: &Path, stem: &str) -> std::io::Result<(PathBuf, PathBuf)> {
         std::fs::create_dir_all(dir)?;
         let prom = dir.join(format!("{stem}.prom"));
         let json = dir.join(format!("{stem}.json"));
-        std::fs::write(&prom, self.render_prometheus())?;
-        std::fs::write(&json, self.render_json())?;
+        atomic_write(&prom, &self.render_prometheus())?;
+        atomic_write(&json, &self.render_json())?;
         Ok((prom, json))
     }
+}
+
+/// Writes `contents` to `path` by writing a sibling `<path>.tmp` and
+/// renaming it over the target — atomic on POSIX, so readers see either
+/// the old file or the new one, never a torn write.
+pub(crate) fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
 }
 
 #[cfg(test)]
@@ -220,8 +251,29 @@ mod tests {
         let registry = MetricsRegistry::new();
         registry.counter("m", &[]).inc();
         let (prom, json) = registry.snapshot().write_files(&dir, "metrics").unwrap();
-        assert!(std::fs::read_to_string(prom).unwrap().contains("m 1"));
+        assert!(std::fs::read_to_string(&prom).unwrap().contains("m 1"));
         assert!(std::fs::read_to_string(json).unwrap().contains("\"name\":\"m\""));
+        // The atomic write must not leave its temp file behind.
+        let mut tmp = prom.into_os_string();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists(), "temp file left behind");
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn exemplars_render_in_both_expositions() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram_with("h_us", &[], &[10, 100]);
+        h.observe(5);
+        h.observe_with_exemplar(40, 7);
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("h_us_bucket{le=\"100\"} 2 # {trace_id=\"7\"} 40"),
+            "exemplar missing from its owning bucket: {text}"
+        );
+        // Only the owning bucket carries the exemplar.
+        assert_eq!(text.matches("trace_id").count(), 1);
+        let json = registry.snapshot().render_json();
+        assert!(json.contains("\"exemplar\":{\"value\":40,\"trace_id\":7}"), "got: {json}");
     }
 }

@@ -41,24 +41,32 @@
 #![warn(missing_docs)]
 
 mod export;
+mod flight;
 mod metrics;
 mod trace;
 
+pub use flight::{
+    FlightEvent, FlightRecorder, FlightRing, Incident, TraceCtx, TraceStage,
+    FLIGHT_RING_CAPACITY, MAX_INCIDENTS,
+};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSummary, MetricKey, MetricSample, MetricsRegistry,
     SampleValue, Snapshot, LATENCY_BUCKETS_US,
 };
 pub use trace::{EventRecord, EventSink, Level, SpanGuard, StderrSink, Tracer, VecSink};
 
-/// The combined observability handle: a metrics registry plus a tracer.
-/// Cloning shares both. [`Obs::default`] is silent (ring-buffer only) —
-/// safe to embed in any component; binaries use [`Obs::for_cli`].
+/// The combined observability handle: a metrics registry, a tracer, and
+/// the causal flight recorder. Cloning shares all three. [`Obs::default`]
+/// is silent (ring-buffer only) — safe to embed in any component;
+/// binaries use [`Obs::for_cli`].
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
     /// The metrics registry.
     pub metrics: MetricsRegistry,
     /// The event/span recorder.
     pub tracer: Tracer,
+    /// The causal incident flight recorder.
+    pub recorder: FlightRecorder,
 }
 
 impl Obs {
@@ -70,7 +78,11 @@ impl Obs {
     /// A CLI handle: events render to stderr, level-filtered by the
     /// `XSEC_LOG` environment variable (default `info`, `off` silences).
     pub fn for_cli() -> Self {
-        Obs { metrics: MetricsRegistry::new(), tracer: Tracer::stderr() }
+        Obs {
+            metrics: MetricsRegistry::new(),
+            tracer: Tracer::stderr(),
+            recorder: FlightRecorder::new(),
+        }
     }
 
     /// A library handle that honours `XSEC_LOG` when it is set and stays

@@ -120,6 +120,9 @@ struct HistogramCore {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    /// Latest exemplar pair; a zero trace id means "none yet".
+    exemplar_value: AtomicU64,
+    exemplar_trace: AtomicU64,
 }
 
 /// A fixed-bucket histogram over `u64` samples (microseconds by
@@ -137,6 +140,8 @@ impl Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            exemplar_value: AtomicU64::new(0),
+            exemplar_trace: AtomicU64::new(0),
         }))
     }
 
@@ -153,6 +158,31 @@ impl Histogram {
     /// Records a wall-clock duration in microseconds.
     pub fn observe_duration(&self, d: StdDuration) {
         self.observe(d.as_micros() as u64);
+    }
+
+    /// Records one sample and, when `trace` is a real trace id (non-zero),
+    /// remembers `(value, trace)` as the series' exemplar — the hook that
+    /// links a latency quantile back to a causal incident trace.
+    pub fn observe_with_exemplar(&self, value: u64, trace: u64) {
+        self.observe(value);
+        if trace != 0 {
+            self.0.exemplar_value.store(value, Ordering::Relaxed);
+            self.0.exemplar_trace.store(trace, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a wall-clock duration with a trace-id exemplar.
+    pub fn observe_duration_with_exemplar(&self, d: StdDuration, trace: u64) {
+        self.observe_with_exemplar(d.as_micros() as u64, trace);
+    }
+
+    /// The latest `(value, trace_id)` exemplar, if any sample carried one.
+    pub fn exemplar(&self) -> Option<(u64, u64)> {
+        let trace = self.0.exemplar_trace.load(Ordering::Relaxed);
+        if trace == 0 {
+            return None;
+        }
+        Some((self.0.exemplar_value.load(Ordering::Relaxed), trace))
     }
 
     /// Samples recorded.
@@ -355,6 +385,7 @@ impl MetricsRegistry {
                         p90: h.quantile(0.90),
                         p99: h.quantile(0.99),
                         buckets: h.cumulative_buckets(),
+                        exemplar: h.exemplar(),
                     }),
                 },
             })
@@ -387,6 +418,8 @@ pub struct HistogramSummary {
     pub p99: f64,
     /// Cumulative `(le, count)` pairs, `+Inf` reported as `u64::MAX`.
     pub buckets: Vec<(u64, u64)>,
+    /// Latest `(value, trace_id)` exemplar, when a sample carried one.
+    pub exemplar: Option<(u64, u64)>,
 }
 
 /// One metric's snapshot value.
@@ -536,6 +569,18 @@ mod tests {
         assert!(h.quantile(0.99) > 10.0);
         let buckets = h.cumulative_buckets();
         assert_eq!(buckets, vec![(10, 0), (u64::MAX, 2)]);
+    }
+
+    #[test]
+    fn exemplar_links_quantiles_to_traces() {
+        let h = Histogram::new(&[100]);
+        h.observe(10);
+        assert_eq!(h.exemplar(), None);
+        h.observe_with_exemplar(40, 0); // untraced sample: no exemplar
+        assert_eq!(h.exemplar(), None);
+        h.observe_with_exemplar(55, 7);
+        assert_eq!(h.exemplar(), Some((55, 7)));
+        assert_eq!(h.count(), 3, "exemplar observes still count as samples");
     }
 
     #[test]

@@ -88,13 +88,18 @@ pub trait EventSink: Send {
 }
 
 /// Renders events to stderr as `[LEVEL target] message`.
+///
+/// Each event is formatted into one buffer and delivered with a single
+/// `write_all` on the locked stream, so concurrent emitters (sharded
+/// scoring workers, the RIC pump) never interleave half-lines.
 #[derive(Debug, Default)]
 pub struct StderrSink;
 
 impl EventSink for StderrSink {
     fn emit(&mut self, record: &EventRecord) {
-        match record.elapsed_us {
-            Some(us) => eprintln!(
+        use std::io::Write as _;
+        let mut line = match record.elapsed_us {
+            Some(us) => format!(
                 "[{:5} {}] {} ({:.1} ms)",
                 record.level.as_str(),
                 record.target,
@@ -102,9 +107,12 @@ impl EventSink for StderrSink {
                 us as f64 / 1000.0
             ),
             None => {
-                eprintln!("[{:5} {}] {}", record.level.as_str(), record.target, record.message)
+                format!("[{:5} {}] {}", record.level.as_str(), record.target, record.message)
             }
-        }
+        };
+        line.push('\n');
+        // Best-effort, like eprintln! — but line-atomic.
+        let _ = std::io::stderr().lock().write_all(line.as_bytes());
     }
 }
 

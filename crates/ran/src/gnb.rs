@@ -677,7 +677,7 @@ mod tests {
     }
 
     fn control(ttl: Duration, action: MitigationAction) -> ControlAction {
-        ControlAction { id: 1, ttl, action }
+        ControlAction { id: 1, ttl, action, trace: None }
     }
 
     #[test]

@@ -192,6 +192,9 @@ pub struct RanSimulator {
     registrations: u64,
     streams: RngStreams,
     temp_rnti_cursor: u16,
+    /// Flight recorder the enforcement stage logs into (a detached default
+    /// until [`RanSimulator::attach_obs`] re-homes it).
+    recorder: xsec_obs::FlightRecorder,
 }
 
 impl RanSimulator {
@@ -223,6 +226,7 @@ impl RanSimulator {
             registrations: 0,
             streams,
             temp_rnti_cursor: 0x0100,
+            recorder: xsec_obs::FlightRecorder::new(),
         }
     }
 
@@ -233,6 +237,14 @@ impl RanSimulator {
     pub fn attach_obs(&mut self, obs: &xsec_obs::Obs) {
         self.gnb.attach_obs(obs);
         self.channel.attach_obs(obs);
+        self.recorder = obs.recorder.clone();
+    }
+
+    /// Re-homes only the flight recorder (streaming deployments use this:
+    /// their per-cell metrics stay local, but enforcement spans must land in
+    /// the shared incident traces).
+    pub fn attach_recorder(&mut self, recorder: &xsec_obs::FlightRecorder) {
+        self.recorder = recorder.clone();
     }
 
     /// Provisions a subscriber in the core.
@@ -454,6 +466,23 @@ impl RanSimulator {
     /// transmission path so they are tapped and delivered like any other
     /// network-initiated traffic.
     pub fn apply_control(&mut self, now: Timestamp, control: &xsec_control::ControlAction) {
+        if let Some(trace) = control.trace {
+            use xsec_control::MitigationAction as M;
+            let kind = match control.action {
+                M::ReleaseUe { .. } => 0,
+                M::BlacklistRnti { .. } => 1,
+                M::ForceReauth { .. } => 2,
+                M::QuarantineCell { .. } => 3,
+                M::RateLimitCause { .. } => 4,
+            };
+            self.recorder.record_stage(xsec_obs::FlightEvent {
+                trace,
+                stage: xsec_obs::TraceStage::Enforce,
+                at_us: now.as_micros(),
+                a: u64::from(control.id),
+                b: kind,
+            });
+        }
         for action in self.gnb.apply_control(now, control) {
             self.apply_gnb_action(now, action);
         }

@@ -266,6 +266,16 @@ impl StreamingScenario {
         self.cells[cell].gnb_stats()
     }
 
+    /// Re-homes every cell's enforcement flight recording into `recorder`
+    /// so traced control actions land Enforce spans in the shared incident
+    /// store. Broadcast actions record once per cell; incident export
+    /// dedup absorbs the duplicates.
+    pub fn attach_recorder(&mut self, recorder: &xsec_obs::FlightRecorder) {
+        for cell in &mut self.cells {
+            cell.attach_recorder(recorder);
+        }
+    }
+
     // --- control routing ----------------------------------------------------
 
     /// Routes one RIC control action to the cell(s) it concerns.
@@ -660,6 +670,7 @@ mod tests {
             id: 1,
             ttl: Duration::from_secs(5),
             action: MitigationAction::QuarantineCell { cell: CellId(2) },
+            trace: None,
         };
         engine.apply_control(Timestamp::ZERO, &control);
         for cell in 0..3 {

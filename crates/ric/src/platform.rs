@@ -68,10 +68,12 @@ struct AgentConn {
     /// pinned to one of these cells route here.
     cells: Vec<CellId>,
     /// Send instants of Control Requests still awaiting their ack on this
-    /// connection. E2AP Control Acks carry no correlation id, but each
-    /// transport is an ordered queue and the agent acks every request on
-    /// receipt, so the oldest in-flight send owns the next ack.
-    inflight_controls: VecDeque<Instant>,
+    /// connection, each with the causal trace id of the detection it
+    /// mitigates (when traced). E2AP Control Acks carry no correlation id,
+    /// but each transport is an ordered queue and the agent acks every
+    /// request on receipt, so the oldest in-flight send owns the next ack —
+    /// which is how the ack is correlated back to its incident trace.
+    inflight_controls: VecDeque<(Instant, Option<u64>)>,
     /// Send→ack latency, labelled `agent="gnb-<id>"` (set at setup).
     ack_latency: Option<Histogram>,
 }
@@ -301,7 +303,7 @@ impl RicPlatform {
         if !self.control_queue.is_empty() {
             if let Some(fallback) = self.conns.iter().position(|c| c.setup_done) {
                 let queued = std::mem::take(&mut self.control_queue);
-                for ControlOut { cell, payload } in queued {
+                for ControlOut { cell, trace, payload } in queued {
                     let ci = match cell {
                         Some(cell) => match self
                             .conns
@@ -324,7 +326,7 @@ impl RicPlatform {
                         }
                         .encode(),
                     )?;
-                    conn.inflight_controls.push_back(Instant::now());
+                    conn.inflight_controls.push_back((Instant::now(), trace));
                     stats.controls_sent += 1;
                     self.metrics.controls_sent.inc();
                 }
@@ -390,12 +392,14 @@ impl RicPlatform {
             }
             E2apPdu::ControlAck { success, .. } => {
                 let conn = &mut self.conns[ci];
-                if let Some(sent_at) = conn.inflight_controls.pop_front() {
+                let mut trace = None;
+                if let Some((sent_at, sent_trace)) = conn.inflight_controls.pop_front() {
                     let elapsed = sent_at.elapsed();
                     self.control_latency.record(elapsed);
                     if let Some(h) = &conn.ack_latency {
                         h.observe_duration(elapsed);
                     }
+                    trace = sent_trace;
                 }
                 if success {
                     self.metrics.controls_acked.inc();
@@ -403,8 +407,17 @@ impl RicPlatform {
                     self.metrics.controls_failed.inc();
                 }
                 // Relay the outcome to xApps (the mitigator closes its
-                // delivery loop off this topic).
-                self.router.publish("control-acks", &[success as u8]);
+                // delivery loop off this topic). Traced sends append the
+                // trace id so subscribers can close the causal chain; the
+                // bare one-byte form is kept for untraced sends.
+                if let Some(trace) = trace {
+                    let mut payload = [0u8; 9];
+                    payload[0] = success as u8;
+                    payload[1..].copy_from_slice(&trace.to_be_bytes());
+                    self.router.publish("control-acks", &payload);
+                } else {
+                    self.router.publish("control-acks", &[success as u8]);
+                }
                 Ok(())
             }
             other => Err(XsecError::Ric(format!("unexpected PDU at RIC: {other:?}"))),
@@ -644,6 +657,46 @@ mod tests {
         assert_eq!(
             platform.obs().snapshot().histogram_count("xsec_ric_control_ack_latency_us"),
             1
+        );
+    }
+
+    #[test]
+    fn traced_controls_relay_their_trace_with_the_ack() {
+        struct TracedController;
+        impl XApp for TracedController {
+            fn name(&self) -> &str {
+                "traced-controller"
+            }
+            fn on_records(
+                &mut self,
+                ctx: &mut XAppContext<'_>,
+                _records: &[UeMobiFlow],
+                _window_end: Timestamp,
+            ) {
+                ctx.send_control_traced(None, Some(0x0102_0304_0506_0708), b"throttle".to_vec());
+            }
+        }
+        let (mut platform, mut agent) =
+            wired_platform(Box::new(TracedController), SubscriptionSpec::telemetry(100));
+        platform.pump().unwrap();
+        agent.poll(Timestamp(0)).unwrap();
+        platform.pump().unwrap();
+        agent.poll(Timestamp(0)).unwrap();
+        platform.pump().unwrap();
+
+        agent.push_record(record(0, 1));
+        agent.poll(Timestamp(100_000)).unwrap();
+        platform.pump().unwrap();
+        agent.poll(Timestamp(100_000)).unwrap();
+
+        let acks = platform.router().subscribe("control-acks");
+        platform.pump().unwrap();
+        let payload = acks.try_recv().unwrap();
+        assert_eq!(payload.len(), 9, "traced acks carry [success][trace BE]");
+        assert_eq!(payload[0], 1);
+        assert_eq!(
+            u64::from_be_bytes(payload[1..9].try_into().unwrap()),
+            0x0102_0304_0506_0708
         );
     }
 

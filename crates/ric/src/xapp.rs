@@ -13,6 +13,10 @@ use xsec_types::{CellId, Timestamp};
 pub struct ControlOut {
     /// The cell the action targets, when known.
     pub cell: Option<CellId>,
+    /// Causal trace id of the detection behind the action, when traced.
+    /// The pump remembers it per in-flight Control Request so the FIFO ack
+    /// can be correlated back to its incident trace.
+    pub trace: Option<u64>,
     /// Encoded control payload (mitigation TLV).
     pub payload: Vec<u8>,
 }
@@ -36,12 +40,24 @@ impl XAppContext<'_> {
 
     /// Queues a closed-loop control action toward the RAN (any agent).
     pub fn send_control(&mut self, payload: Vec<u8>) {
-        self.control_out.push(ControlOut { cell: None, payload });
+        self.control_out.push(ControlOut { cell: None, trace: None, payload });
     }
 
     /// Queues a closed-loop control action toward the agent serving `cell`.
     pub fn send_control_to(&mut self, cell: CellId, payload: Vec<u8>) {
-        self.control_out.push(ControlOut { cell: Some(cell), payload });
+        self.control_out.push(ControlOut { cell: Some(cell), trace: None, payload });
+    }
+
+    /// Queues a closed-loop control action with full routing context: an
+    /// optional pinned cell and an optional causal trace id for ack
+    /// correlation.
+    pub fn send_control_traced(
+        &mut self,
+        cell: Option<CellId>,
+        trace: Option<u64>,
+        payload: Vec<u8>,
+    ) {
+        self.control_out.push(ControlOut { cell, trace, payload });
     }
 }
 
@@ -107,7 +123,10 @@ mod tests {
         let mut app = Recorder { seen: 0 };
         app.on_records(&mut ctx, &[], Timestamp(0));
         assert_eq!(rx.try_recv().unwrap(), 0u32.to_be_bytes().to_vec());
-        assert_eq!(control, vec![ControlOut { cell: None, payload: b"act".to_vec() }]);
+        assert_eq!(
+            control,
+            vec![ControlOut { cell: None, trace: None, payload: b"act".to_vec() }]
+        );
     }
 
     #[test]
@@ -117,9 +136,13 @@ mod tests {
         let mut control = Vec::new();
         let mut ctx = XAppContext { sdl: &sdl, router: &router, control_out: &mut control };
         ctx.send_control_to(CellId(7), b"act".to_vec());
+        ctx.send_control_traced(Some(CellId(7)), Some(42), b"act".to_vec());
         assert_eq!(
             control,
-            vec![ControlOut { cell: Some(CellId(7)), payload: b"act".to_vec() }]
+            vec![
+                ControlOut { cell: Some(CellId(7)), trace: None, payload: b"act".to_vec() },
+                ControlOut { cell: Some(CellId(7)), trace: Some(42), payload: b"act".to_vec() },
+            ]
         );
     }
 }

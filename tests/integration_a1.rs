@@ -51,6 +51,7 @@ fn downgraded_record(conn: u32, rnti: u16, at: Timestamp) -> UeMobiFlow {
 
 fn finding(at: Timestamp, conn: u32, rnti: u16) -> FindingNotice {
     FindingNotice {
+        trace: 0,
         at_record: 10,
         at_time: at,
         score: 0.5,

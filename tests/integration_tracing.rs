@@ -1,0 +1,181 @@
+//! Causal incident tracing, end to end: one trace id follows a detection
+//! from E2 ingest through inference, alerting, the analyzer verdict, the
+//! policy decision, the Control Request's trace-id TLV, gNB enforcement,
+//! and the correlated ack — and the flight recorder's exports replay that
+//! chain as a JSONL decision trace and a Perfetto file.
+
+use sixg_xsec::pipeline::{Pipeline, PipelineConfig};
+use xsec_attacks::{BtsDosConfig, BtsDosUe};
+use xsec_obs::TraceStage;
+use xsec_ran::amf::SubscriberRecord;
+use xsec_ran::scenario::{Scenario, ScenarioConfig};
+use xsec_ran::sim::RanSimulator;
+use xsec_types::{AttackKind, Duration, Plmn, Supi, Timestamp, TrafficClass};
+
+/// Benign background plus a sustained BTS DoS flood, long enough for the
+/// whole detect → decide → enforce → ack loop to land inside the run.
+fn sustained_flood_sim(seed: u64, sessions: usize) -> RanSimulator {
+    let mut scenario = ScenarioConfig::default();
+    scenario.sim.seed = seed;
+    scenario.benign_sessions = sessions;
+    scenario.sim.horizon = Duration::from_secs(14);
+    let mut sim = Scenario::new(scenario).build();
+    let msin = 999_000;
+    sim.add_subscriber(SubscriberRecord { supi: Supi::new(Plmn::TEST, msin), key: 0x666 });
+    let flood = BtsDosUe::new(BtsDosConfig {
+        connections: 300,
+        inter_connection: Duration::from_millis(30),
+        attacker_msin: msin,
+    });
+    sim.add_ue(
+        Box::new(flood),
+        TrafficClass::Attack(AttackKind::BtsDos),
+        Timestamp(700_000),
+    );
+    sim
+}
+
+#[test]
+fn flood_incident_carries_the_complete_causal_chain() {
+    let pipeline = Pipeline::train(&PipelineConfig::small(31, 15));
+    let closed = pipeline.run_closed_loop(sustained_flood_sim(31, 15));
+    let recorder = &closed.outcome.recorder;
+
+    let incidents = recorder.incidents();
+    assert!(!incidents.is_empty(), "flood produced no incident traces");
+
+    // At least one incident must span every causal stage.
+    let complete = incidents
+        .iter()
+        .find(|incident| {
+            TraceStage::ALL.iter().all(|stage| {
+                incident.events.iter().any(|e| e.stage == *stage)
+            })
+        })
+        .unwrap_or_else(|| {
+            panic!(
+                "no incident spans all 8 stages; stage sets: {:?}",
+                incidents
+                    .iter()
+                    .map(|i| i.events.iter().map(|e| e.stage).collect::<Vec<_>>())
+                    .collect::<Vec<_>>()
+            )
+        });
+    let trace = complete.trace;
+    assert_ne!(trace, 0, "incident trace must be a real id");
+
+    // Events are order-normalized: virtual time never goes backwards, and
+    // the chain starts at ingest.
+    assert!(complete.events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+    assert_eq!(complete.events[0].stage, TraceStage::Ingest);
+
+    // The inference and alert spans carry real score/threshold payloads,
+    // and the alert fired because the score crossed the threshold.
+    let alert = complete
+        .events
+        .iter()
+        .find(|e| e.stage == TraceStage::Alert)
+        .expect("alert span present");
+    let (score, threshold) = (f32::from_bits(alert.a as u32), f32::from_bits(alert.b as u32));
+    assert!(score.is_finite() && threshold.is_finite());
+    assert!(score >= threshold, "alert fired below threshold: {score} < {threshold}");
+
+    // The Control Request that reached the RAN carried this trace in its
+    // trace-id TLV: `enforced` holds actions decoded from the raw E2
+    // payload, so a matching `trace` field proves the id survived the wire.
+    assert!(
+        closed.enforced.iter().any(|(_, action)| action.trace == Some(trace)),
+        "no enforced Control Request carried trace {trace} in its TLV"
+    );
+
+    // The ack closed the loop for this trace.
+    let ack = complete
+        .events
+        .iter()
+        .find(|e| e.stage == TraceStage::Ack)
+        .expect("ack span present");
+    assert_eq!(ack.a, 1, "ack must report success");
+
+    // Histogram exemplars link the latency quantiles back to trace ids.
+    let traces: Vec<u64> = incidents.iter().map(|i| i.trace).collect();
+    let inference = closed.outcome.metrics.histograms("xsec_mobiwatch_inference_latency_us");
+    let (_, summary) = inference.first().expect("inference histogram present");
+    let (_, exemplar_trace) = summary.exemplar.expect("inference histogram has an exemplar");
+    assert!(
+        exemplar_trace != 0,
+        "inference exemplar must reference a trace id"
+    );
+
+    // The Perfetto export is valid JSON and holds the whole chain: at
+    // least 8 complete ("X") spans sharing the incident's trace id.
+    let perfetto = recorder.perfetto_json();
+    let doc: serde_json::Value =
+        serde_json::from_str(&perfetto).expect("perfetto export must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array present");
+    let spans = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(|v| v.as_str()) == Some("X")
+                && e.get("args")
+                    .and_then(|a| a.get("trace_id"))
+                    .and_then(|v| v.as_u64())
+                    == Some(trace)
+        })
+        .count();
+    assert!(spans >= 8, "expected >= 8 Perfetto spans for trace {trace}, got {spans}");
+
+    // The JSONL decision trace replays the same chain, one event per line.
+    let jsonl = recorder.incidents_jsonl();
+    let chain_lines = jsonl
+        .lines()
+        .filter(|l| l.contains(&format!("\"trace\":{trace},")))
+        .count();
+    assert_eq!(chain_lines, complete.events.len());
+    for line in jsonl.lines() {
+        let _: serde_json::Value =
+            serde_json::from_str(line).expect("every JSONL line must parse");
+    }
+
+    // Every captured incident belongs to a distinct trace.
+    let mut unique = traces.clone();
+    unique.dedup();
+    assert_eq!(unique.len(), traces.len(), "duplicate incident traces");
+}
+
+#[test]
+fn incident_traces_are_invariant_to_scoring_shard_count() {
+    // Same seed, same scenario, different parallelism: the flight recorder
+    // must produce byte-identical incident traces (same trace ids, same
+    // causal edges) whether one shard or four score the stream.
+    let outcome_for = |shards: usize| {
+        let mut config = PipelineConfig::small(31, 15);
+        config.scoring_shards = shards;
+        let pipeline = Pipeline::train(&config);
+        pipeline.run_attack(AttackKind::BtsDos)
+    };
+    let one = outcome_for(1);
+    let four = outcome_for(4);
+
+    let one_incidents = one.recorder.incidents();
+    let four_incidents = four.recorder.incidents();
+    assert!(!one_incidents.is_empty(), "1-shard run captured no incidents");
+    assert_eq!(
+        one_incidents, four_incidents,
+        "incident traces diverge between 1 and 4 scoring shards"
+    );
+    assert_eq!(one.recorder.dropped_incidents(), four.recorder.dropped_incidents());
+    assert_eq!(one.recorder.incidents_jsonl(), four.recorder.incidents_jsonl());
+    assert_eq!(one.recorder.perfetto_json(), four.recorder.perfetto_json());
+
+    // Open-loop replay never enforces, so no incident may claim an
+    // Enforce span — the stage only appears when a gNB actually acted.
+    assert!(
+        one_incidents
+            .iter()
+            .all(|i| i.events.iter().all(|e| e.stage != TraceStage::Enforce)),
+        "open-loop run must not record Enforce spans"
+    );
+}
