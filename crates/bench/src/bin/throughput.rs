@@ -23,7 +23,7 @@ use sixg_xsec::smo::{DeployedModels, Smo, TrainingConfig};
 use std::time::Instant;
 use xsec_attacks::DatasetBuilder;
 use xsec_bench::{obs, quick_mode, save_report};
-use xsec_dl::{FeatureConfig, Featurizer, Workspace};
+use xsec_dl::{FeatureConfig, Featurizer, Matrix, Precision, Workspace};
 use xsec_mobiflow::{extract_from_events, TelemetryStream, UeMobiFlow};
 use xsec_obs::{FlightEvent, Obs, TraceStage};
 use xsec_types::AttackKind;
@@ -125,6 +125,145 @@ fn batched_section(
             "batched_windows_per_sec": lstm_batched,
             "per_row_windows_per_sec": lstm_per_pair,
             "speedup": lstm_batched / lstm_per_pair,
+        },
+    })
+}
+
+/// Kernel-level microbenches: the wide-lane (SIMD) f32 and int8 paths
+/// against the pinned scalar kernel, on a raw GEMM and on the real batched
+/// scoring workloads. The in-binary scalar pin is informational; the CI
+/// gate compares against a scalar *build* via `--baseline` (see
+/// `apply_baseline`), which gates `speedup_vs_baseline >= 3x`.
+fn kernels_section(
+    models: &DeployedModels,
+    stream: &TelemetryStream,
+    min_secs: f64,
+    text: &mut String,
+) -> serde_json::Value {
+    use xsec_dl::kernels::{set_force_scalar, wide_kernels_active};
+
+    let feature_config = FeatureConfig { window: models.feature_config.window };
+    let dataset = Featurizer::encode_stream(&feature_config, stream);
+    let flat = dataset.flat_windows();
+    let rows = flat.rows();
+    let (windows, nexts) = dataset.lstm_pairs();
+    let pairs = windows.len();
+    let mut ws = Workspace::new();
+
+    // Raw dense GEMM at the AE first-layer shape (64-window batch).
+    let (m, k, n) = (64usize, 264, 48);
+    let a = Matrix::from_vec(m, k, (0..m * k).map(|i| ((i * 37) % 97) as f32 * 0.01 - 0.48).collect());
+    let b = Matrix::from_vec(k, n, (0..k * n).map(|i| ((i * 53) % 89) as f32 * 0.01 - 0.44).collect());
+    let mut out = Matrix::default();
+    let mut gemm_gflops = |scalar: bool| {
+        set_force_scalar(scalar);
+        let (iters, secs) = time_loop(min_secs, || {
+            std::hint::black_box(a.matmul_into(&b, &mut out));
+        });
+        set_force_scalar(false);
+        (iters as f64 * 2.0 * (m * k * n) as f64) / secs / 1e9
+    };
+    let gemm_scalar = gemm_gflops(true);
+    let gemm_wide = gemm_gflops(false);
+
+    // Batched scoring through each numeric path. The scalar-pinned f32 run
+    // is the baseline (the kernel every prior PR shipped). Each path is
+    // measured in interleaved rounds, best-of per path, so a transient
+    // load spike deflates one round instead of one path's only sample.
+    const CONFIGS: [(Precision, bool); 3] =
+        [(Precision::F32, true), (Precision::F32, false), (Precision::Int8, false)];
+    const ROUNDS: usize = 3;
+    let round_secs = min_secs / ROUNDS as f64;
+
+    let ae_f32_scores = models.autoencoder.score_rows_with(&flat, &mut ws, Precision::F32);
+    let ae_int8_scores = models.autoencoder.score_rows_with(&flat, &mut ws, Precision::Int8);
+    let mut ae_rates = [0.0f64; 3];
+    for _ in 0..ROUNDS {
+        for (slot, &(precision, scalar)) in CONFIGS.iter().enumerate() {
+            set_force_scalar(scalar);
+            let (iters, secs) = time_loop(round_secs, || {
+                std::hint::black_box(models.autoencoder.score_rows_with(
+                    &flat,
+                    &mut ws,
+                    precision,
+                ));
+            });
+            set_force_scalar(false);
+            ae_rates[slot] = ae_rates[slot].max((iters * rows as u64) as f64 / secs);
+        }
+    }
+    let [ae_scalar, ae_simd, ae_int8] = ae_rates;
+    let ae_drift = ae_f32_scores
+        .iter()
+        .zip(&ae_int8_scores)
+        .map(|(a, b)| (a - b).abs() as f64)
+        .fold(0.0f64, f64::max);
+
+    let lstm_f32_scores = models.lstm.score_batch_with(&windows, &nexts, &mut ws, Precision::F32);
+    let lstm_int8_scores =
+        models.lstm.score_batch_with(&windows, &nexts, &mut ws, Precision::Int8);
+    let mut lstm_rates = [0.0f64; 3];
+    for _ in 0..ROUNDS {
+        for (slot, &(precision, scalar)) in CONFIGS.iter().enumerate() {
+            set_force_scalar(scalar);
+            let (iters, secs) = time_loop(round_secs, || {
+                std::hint::black_box(models.lstm.score_batch_with(
+                    &windows,
+                    &nexts,
+                    &mut ws,
+                    precision,
+                ));
+            });
+            set_force_scalar(false);
+            lstm_rates[slot] = lstm_rates[slot].max((iters * pairs as u64) as f64 / secs);
+        }
+    }
+    let [lstm_scalar, lstm_simd, lstm_int8] = lstm_rates;
+    let lstm_drift = lstm_f32_scores
+        .iter()
+        .zip(&lstm_int8_scores)
+        .map(|(a, b)| (a - b).abs() as f64)
+        .fold(0.0f64, f64::max);
+
+    let ae_best = (ae_simd / ae_scalar).max(ae_int8 / ae_scalar);
+    let lstm_best = (lstm_simd / lstm_scalar).max(lstm_int8 / lstm_scalar);
+    text.push_str(&format!(
+        "Kernels (wide-lane active: {}):\n  \
+         gemm {m}x{k}x{n}:  {gemm_wide:>6.2} GFLOP/s wide  {gemm_scalar:>6.2} scalar  ({:.2}x)\n  \
+         autoencoder: {ae_simd:>12.0} w/s simd  {ae_int8:>12.0} int8  {ae_scalar:>12.0} scalar  \
+         (best {ae_best:.2}x, int8 drift {ae_drift:.2e})\n  \
+         lstm:        {lstm_simd:>12.0} w/s simd  {lstm_int8:>12.0} int8  {lstm_scalar:>12.0} scalar  \
+         (best {lstm_best:.2}x, int8 drift {lstm_drift:.2e})\n\n",
+        wide_kernels_active(),
+        gemm_wide / gemm_scalar,
+    ));
+    json!({
+        "wide_kernels_active": wide_kernels_active(),
+        "gemm": {
+            "shape": [m, k, n],
+            "wide_gflops": gemm_wide,
+            "scalar_gflops": gemm_scalar,
+            "speedup": gemm_wide / gemm_scalar,
+        },
+        "autoencoder": {
+            "windows": rows,
+            "scalar_windows_per_sec": ae_scalar,
+            "simd_windows_per_sec": ae_simd,
+            "int8_windows_per_sec": ae_int8,
+            "simd_speedup": ae_simd / ae_scalar,
+            "int8_speedup": ae_int8 / ae_scalar,
+            "best_speedup": ae_best,
+            "int8_max_drift": ae_drift,
+        },
+        "lstm": {
+            "windows": pairs,
+            "scalar_windows_per_sec": lstm_scalar,
+            "simd_windows_per_sec": lstm_simd,
+            "int8_windows_per_sec": lstm_int8,
+            "simd_speedup": lstm_simd / lstm_scalar,
+            "int8_speedup": lstm_int8 / lstm_scalar,
+            "best_speedup": lstm_best,
+            "int8_max_drift": lstm_drift,
         },
     })
 }
@@ -286,18 +425,34 @@ fn sharded_section(
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut rates = Vec::new();
     text.push_str(&format!("Sharded pool ({} records/pass, {cores} cores):\n", records.len()));
-    for shards in [1usize, 2, 4] {
-        let (mut pool, _state) =
-            ShardedMobiWatch::new(models.clone(), MobiWatchConfig::default(), shards);
-        let (iters, secs) = time_loop(min_secs, || {
-            for chunk in records.chunks(64) {
-                std::hint::black_box(pool.process_batch(chunk));
-            }
-        });
-        let records_per_sec = (iters * records.len() as u64) as f64 / secs;
+    // E2-interval-scale batches (256 records) so the per-batch fork/join
+    // amortizes the way it does in deployment. Shard counts are measured
+    // interleaved, four rounds each, best-of per count: machine-load drift
+    // then lands on every count alike instead of faking a scaling
+    // regression on whichever count ran during the hiccup.
+    const COUNTS: [usize; 3] = [1, 2, 4];
+    const ROUNDS: usize = 4;
+    let mut pools: Vec<ShardedMobiWatch> = COUNTS
+        .iter()
+        .map(|&shards| ShardedMobiWatch::new(models.clone(), MobiWatchConfig::default(), shards).0)
+        .collect();
+    let mut best = [0.0f64; COUNTS.len()];
+    let round_secs = min_secs * 3.0 / ROUNDS as f64;
+    for _round in 0..ROUNDS {
+        for (slot, pool) in best.iter_mut().zip(&mut pools) {
+            let (iters, secs) = time_loop(round_secs, || {
+                for chunk in records.chunks(256) {
+                    std::hint::black_box(pool.process_batch(chunk));
+                }
+            });
+            *slot = slot.max((iters * records.len() as u64) as f64 / secs);
+        }
+    }
+    for (&shards, &records_per_sec) in COUNTS.iter().zip(&best) {
         text.push_str(&format!("  {shards} shard(s): {records_per_sec:>12.0} records/s\n"));
         rates.push((shards, records_per_sec));
     }
+    drop(pools);
     let scaling = rates[2].1 / rates[0].1;
 
     // Determinism: the shard count must not change what gets detected.
@@ -327,6 +482,73 @@ fn sharded_section(
     })
 }
 
+/// `--baseline <path>`: a `BENCH_throughput.json` produced by a **scalar
+/// build** (`--no-default-features`, default codegen). When given, the
+/// kernels section also reports the cross-build speedups — the honest
+/// number, since an in-binary scalar pin still benefits from this build's
+/// codegen flags.
+fn baseline_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--baseline" {
+            return Some(args.next().expect("--baseline takes a path"));
+        }
+        if let Some(path) = arg.strip_prefix("--baseline=") {
+            return Some(path.to_string());
+        }
+    }
+    None
+}
+
+/// Folds the scalar-build rates into this run's kernels section as
+/// `speedup_vs_baseline` per detector (plus the rates they were computed
+/// from), so the committed JSON records the real cross-build win.
+fn apply_baseline(kernels: &mut serde_json::Value, path: &str, text: &mut String) {
+    let contents = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("baseline {path} unreadable: {e}"));
+    let baseline: serde_json::Value =
+        serde_json::from_str(&contents).unwrap_or_else(|e| panic!("baseline {path}: {e}"));
+    let base_kernels = baseline.get("kernels").expect("baseline kernels section");
+    assert_eq!(
+        base_kernels.get("wide_kernels_active").and_then(|v| v.as_bool()),
+        Some(false),
+        "baseline {path} came from a simd build — rebuild it with --no-default-features",
+    );
+    text.push_str(&format!("Cross-build speedups vs scalar baseline ({path}):\n"));
+    for detector in ["autoencoder", "lstm"] {
+        let base = base_kernels
+            .get(detector)
+            .and_then(|d| d.get("scalar_windows_per_sec"))
+            .and_then(|v| v.as_f64())
+            .expect("baseline scalar rate");
+        let simd = kernels
+            .get(detector)
+            .and_then(|d| d.get("simd_windows_per_sec"))
+            .and_then(|v| v.as_f64())
+            .expect("simd rate");
+        let speedup = simd / base;
+        text.push_str(&format!(
+            "  {detector}: {simd:>12.0} w/s vs {base:>12.0} scalar-build  ({speedup:.2}x)\n",
+        ));
+        // The vendored `Value` keeps objects as ordered pairs with no
+        // mutable lookup; push the cross-build fields onto the detector's
+        // section by hand.
+        let serde_json::Value::Object(sections) = &mut *kernels else {
+            panic!("kernels section is an object")
+        };
+        let section = sections
+            .iter_mut()
+            .find_map(|(name, v)| (name == detector).then_some(v))
+            .expect("kernel section");
+        let serde_json::Value::Object(fields) = section else {
+            panic!("detector section is an object")
+        };
+        fields.push(("baseline_scalar_windows_per_sec".into(), json!(base)));
+        fields.push(("speedup_vs_baseline".into(), json!(speedup)));
+    }
+    text.push('\n');
+}
+
 fn main() {
     let quick = quick_mode();
     let min_secs = if quick { 0.2 } else { 0.8 };
@@ -335,6 +557,10 @@ fn main() {
     let (models, eval_stream, attack_stream) = train(quick);
 
     let mut text = String::from("Inference-engine throughput\n===========================\n\n");
+    let mut kernels = kernels_section(&models, &eval_stream, min_secs, &mut text);
+    if let Some(path) = baseline_arg() {
+        apply_baseline(&mut kernels, &path, &mut text);
+    }
     let batched = batched_section(&models, &eval_stream, min_secs, &mut text);
     let streaming = streaming_section(&models, &eval_stream.records, min_secs, &mut text);
     let recorder = recorder_section(&models, &eval_stream.records, min_secs, &mut text);
@@ -349,6 +575,7 @@ fn main() {
     let report = json!({
         "quick": quick,
         "cores": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "kernels": kernels,
         "batched": batched,
         "streaming": streaming,
         "recorder": recorder,

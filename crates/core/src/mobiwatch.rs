@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 use parking_lot::Mutex;
-use xsec_dl::{FeatureRing, Featurizer, Workspace, FEATURES_PER_RECORD};
+use xsec_dl::{FeatureRing, Featurizer, Precision, Workspace, FEATURES_PER_RECORD};
 use xsec_mobiflow::{encode_ue_record, UeMobiFlow};
 use xsec_obs::{
     Counter, FlightEvent, FlightRecorder, FlightRing, Histogram, Obs, TraceStage,
@@ -69,6 +69,9 @@ pub struct MobiWatchConfig {
     pub publish_topic: String,
     /// Minimum records between two published alerts (LLM cost control).
     pub publish_cooldown: usize,
+    /// Numeric scoring path ([`Precision::F32`] or the quantized
+    /// [`Precision::Int8`] weights).
+    pub precision: Precision,
 }
 
 impl Default for MobiWatchConfig {
@@ -78,6 +81,7 @@ impl Default for MobiWatchConfig {
             context_records: 48,
             publish_topic: "anomalies".to_string(),
             publish_cooldown: 16,
+            precision: Precision::F32,
         }
     }
 }
@@ -211,8 +215,11 @@ impl MobiWatch {
                 if self.ring.len() < n {
                     return None;
                 }
-                let score =
-                    self.models.autoencoder.score_window(self.ring.last_n(n), &mut self.workspace);
+                let score = self.models.autoencoder.score_window_with(
+                    self.ring.last_n(n),
+                    &mut self.workspace,
+                    self.config.precision,
+                );
                 (score, self.models.ae_threshold)
             }
             Detector::Lstm => {
@@ -221,7 +228,12 @@ impl MobiWatch {
                 }
                 let span = self.ring.last_n(n + 1);
                 let (window_flat, next) = span.split_at(n * FEATURES_PER_RECORD);
-                let score = self.models.lstm.score_window(window_flat, next, &mut self.workspace);
+                let score = self.models.lstm.score_window_with(
+                    window_flat,
+                    next,
+                    &mut self.workspace,
+                    self.config.precision,
+                );
                 (score, self.models.lstm_threshold)
             }
         };

@@ -14,7 +14,7 @@ use crate::mobiwatch::{Detector, MobiWatch, MobiWatchConfig};
 use crate::smo::{A1PolicyClient, DeployedModels, Smo, TrainingConfig};
 use xsec_attacks::DatasetBuilder;
 use xsec_control::{ControlAction, PolicyEngine};
-use xsec_dl::{Confusion, FeatureConfig, Featurizer};
+use xsec_dl::{Confusion, FeatureConfig, Featurizer, Precision};
 use xsec_e2::{in_proc_pair, InProcTransport, RicAgent, RicAgentConfig};
 use xsec_llm::{ModelPersonality, SimulatedExpert};
 use xsec_mobiflow::{extract_from_events, extract_from_events_at, TelemetryStream};
@@ -46,6 +46,11 @@ pub struct PipelineConfig {
     /// ([`crate::shard::ShardedMobiWatch`]), whose detections are invariant
     /// in the shard count.
     pub scoring_shards: usize,
+    /// Numeric path the deployed detector scores with: [`Precision::F32`]
+    /// (default) or [`Precision::Int8`], the quantized-weight path (weights
+    /// are quantized once at deploy; scores drift within the parity budget
+    /// the int8 tests bound).
+    pub precision: Precision,
 }
 
 impl PipelineConfig {
@@ -66,6 +71,7 @@ impl PipelineConfig {
             detector_window: 4,
             report_period_ms: 100,
             scoring_shards: 0,
+            precision: Precision::F32,
         }
     }
 
@@ -80,6 +86,7 @@ impl PipelineConfig {
             detector_window: 4,
             report_period_ms: 100,
             scoring_shards: 0,
+            precision: Precision::F32,
         }
     }
 }
@@ -222,7 +229,11 @@ impl Pipeline {
         platform.add_agent(Box::new(ric_end));
 
         let watch_config =
-            MobiWatchConfig { detector: self.config.detector, ..MobiWatchConfig::default() };
+            MobiWatchConfig {
+                detector: self.config.detector,
+                precision: self.config.precision,
+                ..MobiWatchConfig::default()
+            };
         let (watch, watch_state): (Box<dyn xsec_ric::XApp>, _) =
             if self.config.scoring_shards > 0 {
                 let (mut pool, state) = crate::shard::ShardedMobiWatch::new(

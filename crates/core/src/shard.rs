@@ -16,10 +16,13 @@
 //!   so per-UE state evolves deterministically — the score and alert sets
 //!   are *invariant in the shard count*, which is what makes the pool safe
 //!   to widen with the machine.
-//! * **Merging is a fork/join per E2 batch.** After dispatching a batch the
-//!   ingest thread sends every shard a drain token and collects one reply
-//!   each; results are ordered by global record index before they touch the
-//!   shared state, so downstream consumers observe one deterministic stream.
+//! * **Merging is a fork/join per E2 batch.** The ingest thread sends each
+//!   shard **one message per batch** — its slice of the featurized records —
+//!   and collects one reply each; results are ordered by global record index
+//!   before they touch the shared state, so downstream consumers observe one
+//!   deterministic stream. Batched dispatch matters: a channel send is a
+//!   lock + wakeup, and paying it per *record* made one shard slower than
+//!   the unsharded xApp it was supposed to scale past.
 
 use crate::mobiwatch::{AnomalyAlert, MobiWatchConfig, MobiWatchState, WatchMetrics};
 use crate::smo::DeployedModels;
@@ -43,20 +46,24 @@ fn shard_of(du_ue_id: u32, shards: usize) -> usize {
     (du_ue_id.wrapping_mul(0x9E37_79B1) as usize) % shards
 }
 
-/// Work sent to a shard. Only what scoring needs crosses the channel — the
-/// raw record stays on the ingest thread, which owns alert context.
-enum ToShard {
-    /// One featurized record owned by this shard's UE set.
-    Record {
-        index: u64,
-        du_ue_id: u32,
-        at_time: Timestamp,
-        /// The record is an RRC release: score it, then drop the UE's state.
-        evict: bool,
-        features: Vec<f32>,
-    },
-    /// Fork/join barrier: reply with everything scored since the last drain.
-    Drain,
+/// One featurized record owned by a shard's UE set. Only what scoring
+/// needs crosses the channel — the raw record stays on the ingest thread,
+/// which owns alert context.
+struct ShardRecord {
+    index: u64,
+    du_ue_id: u32,
+    at_time: Timestamp,
+    /// The record is an RRC release: score it, then drop the UE's state.
+    evict: bool,
+    features: Vec<f32>,
+}
+
+/// Work sent to a shard: its slice of one E2 batch (possibly empty), in
+/// stream order. Exactly one message per shard per batch — the reply is the
+/// fork/join barrier, so no separate drain token exists to pay a second
+/// channel round-trip for.
+struct ShardWork {
+    records: Vec<ShardRecord>,
 }
 
 /// One shard's results for one batch.
@@ -68,6 +75,8 @@ struct ShardBatch {
     alerts: Vec<(u64, AnomalyAlert)>,
     /// UEs this shard still tracks after the batch (leak telemetry).
     tracked: usize,
+    /// The drained work buffer, returned for the ingest thread to reuse.
+    spent: Vec<ShardRecord>,
 }
 
 /// Per-UE detection state owned by exactly one shard. Deliberately small:
@@ -114,7 +123,11 @@ pub struct ShardedMobiWatch {
     recorder: FlightRecorder,
     flight: FlightRing,
     workers: Vec<JoinHandle<()>>,
-    to_shards: Vec<Sender<ToShard>>,
+    to_shards: Vec<Sender<ShardWork>>,
+    /// Per-shard staging for the current batch, reused across batches so
+    /// dispatch allocates nothing in steady state (the `Vec`s round-trip
+    /// through the workers and come back with the replies).
+    staging: Vec<Vec<ShardRecord>>,
     from_shards: Option<Receiver<ShardBatch>>,
 }
 
@@ -150,6 +163,7 @@ impl ShardedMobiWatch {
                 flight,
                 workers: Vec::new(),
                 to_shards: Vec::new(),
+                staging: Vec::new(),
                 from_shards: None,
             },
             state,
@@ -182,8 +196,9 @@ impl ShardedMobiWatch {
             return;
         }
         let (reply_tx, reply_rx) = unbounded::<ShardBatch>();
+        self.staging = (0..self.shards).map(|_| Vec::new()).collect();
         for _ in 0..self.shards {
-            let (tx, rx) = unbounded::<ToShard>();
+            let (tx, rx) = unbounded::<ShardWork>();
             let models = self.models.clone();
             let config = self.config.clone();
             let metrics = self.metrics.clone();
@@ -206,27 +221,28 @@ impl ShardedMobiWatch {
         // can stamp flight events without shipping ids through the shards.
         let traces: Vec<u64> =
             records.iter().map(|r| self.recorder.trace_for(r.msg_id)).collect();
+        // Featurize sequentially (stream-level state), staging each record
+        // on its owner shard; every shard then gets exactly one send.
         for record in records {
             let t0 = Instant::now();
             let mut features = std::mem::take(&mut self.feature_buf);
             self.featurizer.encode_record_into(record, &mut features);
             self.metrics.featurize_latency.observe_duration(t0.elapsed());
             let shard = shard_of(record.du_ue_id, self.shards);
-            self.to_shards[shard]
-                .send(ToShard::Record {
-                    index: self.records_seen,
-                    du_ue_id: record.du_ue_id,
-                    at_time: record.timestamp,
-                    evict: record.msg == xsec_proto::MessageKind::RrcRelease,
-                    features: features.clone(),
-                })
-                .expect("shard alive");
+            self.staging[shard].push(ShardRecord {
+                index: self.records_seen,
+                du_ue_id: record.du_ue_id,
+                at_time: record.timestamp,
+                evict: record.msg == xsec_proto::MessageKind::RrcRelease,
+                features: features.clone(),
+            });
             self.feature_buf = features;
             self.records_seen += 1;
         }
-        // Fork/join: one drain token per shard, one reply per shard.
-        for tx in &self.to_shards {
-            tx.send(ToShard::Drain).expect("shard alive");
+        // Fork/join: one work message per shard (empty slices included — the
+        // reply is the barrier), one reply per shard.
+        for (tx, staged) in self.to_shards.iter().zip(&mut self.staging) {
+            tx.send(ShardWork { records: std::mem::take(staged) }).expect("shard alive");
         }
         let rx = self.from_shards.as_ref().expect("started");
         let mut scores = Vec::new();
@@ -237,6 +253,9 @@ impl ShardedMobiWatch {
             scores.extend(batch.scores);
             alerts.extend(batch.alerts);
             tracked += batch.tracked;
+            if let Some(slot) = self.staging.iter_mut().find(|s| s.capacity() == 0) {
+                *slot = batch.spent;
+            }
         }
         self.tracked_ues = tracked;
         // Deterministic merge: shard arrival order is per-UE only; global
@@ -337,7 +356,7 @@ fn shard_loop(
     models: DeployedModels,
     config: MobiWatchConfig,
     metrics: WatchMetrics,
-    rx: Receiver<ToShard>,
+    rx: Receiver<ShardWork>,
     reply: Sender<ShardBatch>,
 ) {
     let n = models.feature_config.window;
@@ -345,90 +364,95 @@ fn shard_loop(
     let mut ring_pool: Vec<FeatureRing> = Vec::new();
     let mut ws = Workspace::new();
     let mut batch = ShardBatch::default();
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            ToShard::Drain => {
-                batch.tracked = ues.len();
-                if reply.send(std::mem::take(&mut batch)).is_err() {
-                    return; // pool is shutting down
-                }
-            }
-            ToShard::Record { index, du_ue_id, at_time, evict, features } => {
-                // An RRC release ends the connection for good — DU ids are
-                // never reused within a run — so once the release record
-                // itself is scored, the UE's window state is dead weight.
-                // It is evicted after the labeled block below (several score
-                // paths break out of it early) or a million-UE stream would
-                // pin a million rings.
-                'scored: {
-                    let ue = ues
-                        .entry(du_ue_id)
-                        .or_insert_with(|| UeState::new(n, &mut ring_pool));
-                    ue.ring.push(&features);
-                    ue.seen += 1;
+    while let Ok(work) = rx.recv() {
+        let mut spent = work.records;
+        for ShardRecord { index, du_ue_id, at_time, evict, features } in spent.drain(..) {
+            // An RRC release ends the connection for good — DU ids are
+            // never reused within a run — so once the release record
+            // itself is scored, the UE's window state is dead weight.
+            // It is evicted after the labeled block below (several score
+            // paths break out of it early) or a million-UE stream would
+            // pin a million rings.
+            'scored: {
+                let ue = ues
+                    .entry(du_ue_id)
+                    .or_insert_with(|| UeState::new(n, &mut ring_pool));
+                ue.ring.push(&features);
+                ue.seen += 1;
 
-                    let t0 = Instant::now();
-                    let (score, threshold) = match config.detector {
-                        Detector::Autoencoder => {
-                            if ue.ring.len() < n {
-                                break 'scored;
-                            }
-                            let score = models
-                                .autoencoder
-                                .score_window(ue.ring.last_n(n), &mut ws);
-                            (score, models.ae_threshold)
-                        }
-                        Detector::Lstm => {
-                            if ue.ring.len() < n + 1 {
-                                break 'scored;
-                            }
-                            let span = ue.ring.last_n(n + 1);
-                            let (window_flat, next) = span.split_at(n * FEATURES_PER_RECORD);
-                            let score = models.lstm.score_window(window_flat, next, &mut ws);
-                            (score, models.lstm_threshold)
-                        }
-                    };
-                    metrics.inference_latency.observe_duration(t0.elapsed());
-
-                    let flagged = threshold.is_anomalous(score);
-                    batch.scores.push((index, score, flagged));
-                    if !flagged {
-                        break 'scored;
-                    }
-                    // Cooldown in the UE's own record count, so it is
-                    // invariant in both the shard count and the other UEs'
-                    // traffic.
-                    if let Some(last) = ue.last_publish {
-                        if ue.seen.saturating_sub(last) < config.publish_cooldown as u64 {
+                let t0 = Instant::now();
+                let (score, threshold) = match config.detector {
+                    Detector::Autoencoder => {
+                        if ue.ring.len() < n {
                             break 'scored;
                         }
+                        let score = models.autoencoder.score_window_with(
+                            ue.ring.last_n(n),
+                            &mut ws,
+                            config.precision,
+                        );
+                        (score, models.ae_threshold)
                     }
-                    ue.last_publish = Some(ue.seen);
-                    // Context records are attached by the ingest thread on
-                    // merge — a shard only sees its own UEs, but the analyst
-                    // (and the LLM behind it) needs the surrounding *stream*
-                    // to recognize e.g. a flood of one-shot connections.
-                    // The trace id, like the context records, is stamped by
-                    // the ingest thread on merge.
-                    let alert = AnomalyAlert {
-                        trace: 0,
-                        at_record: index,
-                        at_time,
-                        score,
-                        threshold: threshold.value,
-                        records: Vec::new(),
-                    };
-                    metrics.alerts.inc();
-                    batch.alerts.push((index, alert));
+                    Detector::Lstm => {
+                        if ue.ring.len() < n + 1 {
+                            break 'scored;
+                        }
+                        let span = ue.ring.last_n(n + 1);
+                        let (window_flat, next) = span.split_at(n * FEATURES_PER_RECORD);
+                        let score = models.lstm.score_window_with(
+                            window_flat,
+                            next,
+                            &mut ws,
+                            config.precision,
+                        );
+                        (score, models.lstm_threshold)
+                    }
+                };
+                metrics.inference_latency.observe_duration(t0.elapsed());
+
+                let flagged = threshold.is_anomalous(score);
+                batch.scores.push((index, score, flagged));
+                if !flagged {
+                    break 'scored;
                 }
-                if evict {
-                    if let Some(state) = ues.remove(&du_ue_id) {
-                        let mut ring = state.ring;
-                        ring.clear();
-                        ring_pool.push(ring);
+                // Cooldown in the UE's own record count, so it is
+                // invariant in both the shard count and the other UEs'
+                // traffic.
+                if let Some(last) = ue.last_publish {
+                    if ue.seen.saturating_sub(last) < config.publish_cooldown as u64 {
+                        break 'scored;
                     }
+                }
+                ue.last_publish = Some(ue.seen);
+                // Context records are attached by the ingest thread on
+                // merge — a shard only sees its own UEs, but the analyst
+                // (and the LLM behind it) needs the surrounding *stream*
+                // to recognize e.g. a flood of one-shot connections.
+                // The trace id, like the context records, is stamped by
+                // the ingest thread on merge.
+                let alert = AnomalyAlert {
+                    trace: 0,
+                    at_record: index,
+                    at_time,
+                    score,
+                    threshold: threshold.value,
+                    records: Vec::new(),
+                };
+                metrics.alerts.inc();
+                batch.alerts.push((index, alert));
+            }
+            if evict {
+                if let Some(state) = ues.remove(&du_ue_id) {
+                    let mut ring = state.ring;
+                    ring.clear();
+                    ring_pool.push(ring);
                 }
             }
+        }
+        batch.tracked = ues.len();
+        batch.spent = spent;
+        if reply.send(std::mem::take(&mut batch)).is_err() {
+            return; // pool is shutting down
         }
     }
 }

@@ -1,5 +1,6 @@
 //! Fully-connected layers with built-in Adam state.
 
+use crate::quant::QuantLinear;
 use crate::tensor::Matrix;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -29,6 +30,8 @@ impl Activation {
     }
 
     /// Applies the activation in place (the allocation-free inference path).
+    /// Sigmoid/tanh go through the dispatched kernel transcendentals:
+    /// polynomial (vectorized) on the wide path, libm on the scalar path.
     pub fn apply_inplace(self, data: &mut [f32]) {
         match self {
             Activation::Linear => {}
@@ -37,16 +40,8 @@ impl Activation {
                     *v = v.max(0.0);
                 }
             }
-            Activation::Sigmoid => {
-                for v in data {
-                    *v = sigmoid(*v);
-                }
-            }
-            Activation::Tanh => {
-                for v in data {
-                    *v = v.tanh();
-                }
-            }
+            Activation::Sigmoid => crate::kernels::sigmoid_slice(data),
+            Activation::Tanh => crate::kernels::tanh_slice(data),
         }
     }
 
@@ -113,12 +108,11 @@ pub struct Dense {
     adam_b: AdamState,
     #[serde(skip)]
     cache: Option<LayerCache>,
-    /// Lazily built `Wᵀ` for the single-row inference fast path: a row
-    /// vector times `Wᵀ` is one contiguous dot product per output, where
-    /// the row-major `W` walk would stride. Invalidated on every weight
-    /// update; rebuilt (one allocation) on the next inference call.
+    /// Lazily built int8 snapshot of the weights for the quantized
+    /// inference path. Invalidated on every weight update; rebuilt (one
+    /// allocation) on the next quantized call.
     #[serde(skip)]
-    weights_t: std::sync::OnceLock<Matrix>,
+    quant: std::sync::OnceLock<QuantLinear>,
 }
 
 #[derive(Debug, Clone)]
@@ -137,7 +131,7 @@ impl Dense {
             adam_w: AdamState::new(fan_in, fan_out),
             adam_b: AdamState::new(1, fan_out),
             cache: None,
-            weights_t: std::sync::OnceLock::new(),
+            quant: std::sync::OnceLock::new(),
         }
     }
 
@@ -157,31 +151,65 @@ impl Dense {
     }
 
     /// Inference forward pass into a reusable buffer — no allocation once
-    /// `out` has capacity. Single rows take the transposed-weight GEMV
-    /// (contiguous dot products); batches take the blocked GEMM.
+    /// `out` has capacity. The bias is staged into `out` first and the
+    /// GEMM accumulates on top (one pass over the output instead of two);
+    /// single rows are just the `m = 1` case of the same kernel, whose
+    /// zero-skip saxpy makes sparse one-hot windows cheap.
     ///
     /// Returns `true` when `out`'s buffer grew.
     pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) -> bool {
-        let grew = if x.rows() == 1 {
-            let wt = self.weights_t.get_or_init(|| self.weights.transpose());
-            let grew = out.resize(1, self.fan_out());
-            let xs = x.row_slice(0);
-            for (n, o) in out.data_mut().iter_mut().enumerate() {
-                let w_row = wt.row_slice(n);
-                let mut acc = 0.0f32;
-                for (a, b) in xs.iter().zip(w_row) {
-                    acc += a * b;
-                }
-                *o = acc + self.bias.row_slice(0)[n];
-            }
-            grew
-        } else {
-            let grew = x.matmul_into(&self.weights, out);
-            out.add_row_inplace(&self.bias);
-            grew
-        };
+        assert_eq!(
+            x.cols(),
+            self.fan_in(),
+            "forward_into input width {} != fan_in {}",
+            x.cols(),
+            self.fan_in()
+        );
+        let fan_out = self.fan_out();
+        let grew = out.resize(x.rows(), fan_out);
+        for row in out.data_mut().chunks_exact_mut(fan_out) {
+            row.copy_from_slice(self.bias.row_slice(0));
+        }
+        crate::kernels::gemm_acc(
+            x.data(),
+            x.rows(),
+            self.fan_in(),
+            self.weights.data(),
+            fan_out,
+            out.data_mut(),
+        );
         self.activation.apply_inplace(out.data_mut());
         grew
+    }
+
+    /// Quantized inference forward pass: int8 weights (snapshotted on
+    /// first use), dynamically int8-quantized inputs, i32 accumulation.
+    /// `qx` is the reusable input-quantization scratch (see
+    /// [`crate::Workspace::qx`]). Returns `true` when `out`'s buffer grew.
+    pub fn forward_quant_into(&self, x: &Matrix, qx: &mut Vec<i8>, out: &mut Matrix) -> bool {
+        assert_eq!(
+            x.cols(),
+            self.fan_in(),
+            "forward_quant_into input width {} != fan_in {}",
+            x.cols(),
+            self.fan_in()
+        );
+        let q = self.quantized();
+        let fan_out = self.fan_out();
+        let grew = out.resize(x.rows(), fan_out);
+        for r in 0..x.rows() {
+            let out_row = &mut out.data[r * fan_out..(r + 1) * fan_out];
+            out_row.copy_from_slice(self.bias.row_slice(0));
+            q.forward_row(x.row_slice(r), qx, out_row, true);
+        }
+        self.activation.apply_inplace(out.data_mut());
+        grew
+    }
+
+    /// The int8 snapshot of this layer's weights, built on first use and
+    /// cached until the next weight update.
+    pub fn quantized(&self) -> &QuantLinear {
+        self.quant.get_or_init(|| QuantLinear::from_weights(&self.weights))
     }
 
     /// Training forward pass: caches activations for `backward`.
@@ -204,8 +232,8 @@ impl Dense {
         let grad_in = dz.matmul(&self.weights.transpose());
         self.adam_w.step(&mut self.weights, &grad_w, lr);
         self.adam_b.step(&mut self.bias, &grad_b, lr);
-        // The weights changed: drop the stale transposed copy.
-        self.weights_t = std::sync::OnceLock::new();
+        // The weights changed: drop the stale int8 snapshot.
+        self.quant = std::sync::OnceLock::new();
         grad_in
     }
 }
@@ -312,14 +340,36 @@ mod tests {
                 assert!((a - b).abs() < 1e-5, "forward_into diverged: {a} vs {b}");
             }
         }
-        // After a weight update, the transposed cache must refresh.
+        // After a weight update, the buffered path must track the new weights.
         let mut trained = layer.clone();
         let y = trained.forward_train(&single);
         trained.backward(&y.clone(), 0.1);
         trained.forward_into(&single, &mut out);
         let reference = trained.forward(&single);
         for (a, b) in out.data().iter().zip(reference.data()) {
-            assert!((a - b).abs() < 1e-5, "stale transposed weights: {a} vs {b}");
+            assert!((a - b).abs() < 1e-5, "stale weights in buffered path: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantized_forward_tracks_f32_and_refreshes_after_updates() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut layer = Dense::new(8, 5, Activation::Relu, &mut rng);
+        let x = Matrix::from_vec(2, 8, (0..16).map(|i| (i as f32 * 0.61).cos()).collect());
+        let mut qx = Vec::new();
+        let (mut f32_out, mut q_out) = (Matrix::default(), Matrix::default());
+        layer.forward_into(&x, &mut f32_out);
+        layer.forward_quant_into(&x, &mut qx, &mut q_out);
+        for (a, b) in f32_out.data().iter().zip(q_out.data()) {
+            assert!((a - b).abs() < 0.05, "int8 drifted: {a} vs {b}");
+        }
+        // A weight update must invalidate the int8 snapshot.
+        let y = layer.forward_train(&x);
+        layer.backward(&y.scale(0.5), 0.1);
+        layer.forward_into(&x, &mut f32_out);
+        layer.forward_quant_into(&x, &mut qx, &mut q_out);
+        for (a, b) in f32_out.data().iter().zip(q_out.data()) {
+            assert!((a - b).abs() < 0.05, "stale int8 snapshot: {a} vs {b}");
         }
     }
 

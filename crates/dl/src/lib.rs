@@ -17,7 +17,12 @@
 //!   thresholding rule the paper uses;
 //! * [`Workspace`] — reusable scratch buffers making steady-state inference
 //!   allocation-free, and [`FeatureRing`] — the flat per-stream window ring
-//!   the online detectors score from without rebuilding windows.
+//!   the online detectors score from without rebuilding windows;
+//! * [`kernels`] — the single GEMM implementation everything above runs on:
+//!   a wide-lane SIMD kernel (`simd` feature, default) with the scalar
+//!   blocked kernel kept as fallback and oracle;
+//! * [`quant`] — int8 per-row affine weight quantization ([`QuantLinear`])
+//!   with i32 accumulation, selectable per detector via [`Precision`].
 //!
 //! All training is deterministic given a seed. Models serialize to JSON so
 //! the SMO can "deploy" them to xApps, as in Figure 3.
@@ -28,8 +33,10 @@
 pub mod autoencoder;
 pub mod dense;
 pub mod featurize;
+pub mod kernels;
 pub mod lstm;
 pub mod metrics;
+pub mod quant;
 pub mod ring;
 pub mod tensor;
 pub mod workspace;
@@ -39,6 +46,7 @@ pub use dense::{Activation, Dense};
 pub use featurize::{FeatureConfig, Featurizer, WindowedDataset, FEATURES_PER_RECORD};
 pub use lstm::{Lstm, LstmConfig};
 pub use metrics::{percentile, Confusion, Threshold};
+pub use quant::{Precision, QuantLinear};
 pub use ring::FeatureRing;
 pub use tensor::Matrix;
 pub use workspace::Workspace;

@@ -11,6 +11,7 @@
 
 use crate::dense::{sigmoid, Activation, Dense};
 use crate::metrics::percentile;
+use crate::quant::{Precision, QuantLinear};
 use crate::tensor::Matrix;
 use crate::workspace::Workspace;
 use rand::rngs::StdRng;
@@ -101,6 +102,13 @@ pub struct Lstm {
     adam_u: Adam,
     adam_b: Adam,
     training_errors: Vec<f32>,
+    /// Lazily built int8 snapshot of `w` for the quantized path;
+    /// invalidated on every weight update.
+    #[serde(skip)]
+    qw: std::sync::OnceLock<QuantLinear>,
+    /// Lazily built int8 snapshot of `u`.
+    #[serde(skip)]
+    qu: std::sync::OnceLock<QuantLinear>,
 }
 
 fn slice4(z: &Matrix, h: usize) -> (Matrix, Matrix, Matrix, Matrix) {
@@ -132,6 +140,8 @@ impl Lstm {
             adam_u: Adam::new(h, 4 * h),
             adam_b: Adam::new(1, 4 * h),
             training_errors: Vec::new(),
+            qw: std::sync::OnceLock::new(),
+            qu: std::sync::OnceLock::new(),
         };
 
         let mut order: Vec<usize> = (0..windows.len()).collect();
@@ -225,6 +235,9 @@ impl Lstm {
         self.adam_w.step(&mut self.w, &grad_w, lr);
         self.adam_u.step(&mut self.u, &grad_u, lr);
         self.adam_b.step(&mut self.b, &grad_b, lr);
+        // The weights changed: drop the stale int8 snapshots.
+        self.qw = std::sync::OnceLock::new();
+        self.qu = std::sync::OnceLock::new();
     }
 
     /// Predicts the next telemetry vector after `window` (`N × input_dim`).
@@ -251,26 +264,57 @@ impl Lstm {
     /// input; `ws.h`/`ws.c` (`M × hidden`) are updated in place. The gate
     /// pre-activations for all M sequences come from two GEMMs
     /// (`x·W` and `h·U`) instead of 2·M GEMVs.
-    fn step_batched(&self, ws: &mut Workspace) {
+    fn step_batched(&self, ws: &mut Workspace, precision: Precision) {
         let h_dim = self.config.hidden;
         let rows = ws.x.rows();
-        let grew = ws.x.matmul_into(&self.w, &mut ws.z);
-        ws.note(grew);
-        ws.h.matmul_acc_into(&self.u, &mut ws.z);
-        ws.z.add_row_inplace(&self.b);
+        match precision {
+            Precision::F32 => {
+                // Stage the gate bias into z first (one write per element),
+                // then accumulate both GEMMs on top — cheaper than the
+                // zero → GEMM → separate bias pass it replaces.
+                let grew = ws.z.resize(rows, 4 * h_dim);
+                ws.note(grew);
+                for zrow in ws.z.data_mut().chunks_exact_mut(4 * h_dim) {
+                    zrow.copy_from_slice(self.b.row_slice(0));
+                }
+                ws.x.matmul_acc_into(&self.w, &mut ws.z);
+                ws.h.matmul_acc_into(&self.u, &mut ws.z);
+            }
+            Precision::Int8 => {
+                ws.reserve_qx(self.config.input_dim.max(h_dim));
+                let grew = ws.z.resize(rows, 4 * h_dim);
+                ws.note(grew);
+                let qw = self.qw.get_or_init(|| QuantLinear::from_weights(&self.w));
+                let qu = self.qu.get_or_init(|| QuantLinear::from_weights(&self.u));
+                let Workspace { x, z, h, qx, .. } = ws;
+                for m in 0..rows {
+                    let zrow = &mut z.data[m * 4 * h_dim..(m + 1) * 4 * h_dim];
+                    zrow.copy_from_slice(self.b.row_slice(0));
+                    qw.forward_row(x.row_slice(m), qx, zrow, true);
+                    qu.forward_row(h.row_slice(m), qx, zrow, true);
+                }
+            }
+        }
+        // Gate math through the dispatched slice transcendentals: the wide
+        // path runs the vectorizable polynomials, the scalar path the exact
+        // libm ops (and order) the seed used. `z` is scratch, so the gates
+        // activate in place: row layout is [i | f | g | o], each h_dim wide.
+        let Workspace { z, c: cbuf, h: hbuf, .. } = ws;
         for m in 0..rows {
-            let (z, cbuf, hbuf) = (&ws.z, &mut ws.c, &mut ws.h);
-            let zrow = z.row_slice(m);
+            let zrow = &mut z.data[m * 4 * h_dim..(m + 1) * 4 * h_dim];
+            crate::kernels::sigmoid_slice(&mut zrow[..2 * h_dim]); // i and f are adjacent
+            crate::kernels::tanh_slice(&mut zrow[2 * h_dim..3 * h_dim]);
+            crate::kernels::sigmoid_slice(&mut zrow[3 * h_dim..]);
             let crow = &mut cbuf.data_mut()[m * h_dim..(m + 1) * h_dim];
             let hrow = &mut hbuf.data_mut()[m * h_dim..(m + 1) * h_dim];
             for j in 0..h_dim {
-                let i = sigmoid(zrow[j]);
-                let f = sigmoid(zrow[h_dim + j]);
-                let g = zrow[2 * h_dim + j].tanh();
-                let o = sigmoid(zrow[3 * h_dim + j]);
-                let c = f * crow[j] + i * g;
+                let c = zrow[h_dim + j] * crow[j] + zrow[j] * zrow[2 * h_dim + j];
                 crow[j] = c;
-                hrow[j] = o * c.tanh();
+                hrow[j] = c;
+            }
+            crate::kernels::tanh_slice(hrow);
+            for j in 0..h_dim {
+                hrow[j] *= zrow[3 * h_dim + j];
             }
         }
     }
@@ -288,6 +332,23 @@ impl Lstm {
         windows: &[Matrix],
         nexts: &[Matrix],
         ws: &mut Workspace,
+    ) -> Vec<f32> {
+        self.score_batch_with(windows, nexts, ws, Precision::F32)
+    }
+
+    /// [`Lstm::score_batch`] through a selectable numeric path:
+    /// [`Precision::Int8`] runs every gate GEMM and the head against int8
+    /// weight snapshots (small, bounded drift vs f32 — gated by the parity
+    /// tests).
+    ///
+    /// # Panics
+    /// If lengths disagree or the windows are ragged (different step counts).
+    pub fn score_batch_with(
+        &self,
+        windows: &[Matrix],
+        nexts: &[Matrix],
+        ws: &mut Workspace,
+        precision: Precision,
     ) -> Vec<f32> {
         assert_eq!(windows.len(), nexts.len(), "windows/nexts length mismatch");
         if windows.is_empty() {
@@ -310,16 +371,12 @@ impl Lstm {
                 assert_eq!(w.rows(), steps, "ragged window batch");
                 ws.x.data_mut()[k * d..(k + 1) * d].copy_from_slice(w.row_slice(t));
             }
-            self.step_batched(ws);
+            self.step_batched(ws, precision);
         }
-        let grew = self.head.forward_into(&ws.h, &mut ws.a);
+        let grew = self.head_forward(ws, precision);
         ws.note(grew);
         (0..m)
-            .map(|k| {
-                let (pred, next) = (ws.a.row_slice(k), nexts[k].row_slice(0));
-                pred.iter().zip(next).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
-                    / d as f32
-            })
+            .map(|k| crate::kernels::mse_row(ws.a.row_slice(k), nexts[k].row_slice(0)))
             .collect()
     }
 
@@ -331,6 +388,29 @@ impl Lstm {
     /// If `window_flat` is not a whole number of steps or `next` has the
     /// wrong width.
     pub fn score_window(&self, window_flat: &[f32], next: &[f32], ws: &mut Workspace) -> f32 {
+        self.score_window_with(window_flat, next, ws, Precision::F32)
+    }
+
+    /// Head projection `h → prediction` through the selected numeric path.
+    fn head_forward(&self, ws: &mut Workspace, precision: Precision) -> bool {
+        match precision {
+            Precision::F32 => self.head.forward_into(&ws.h, &mut ws.a),
+            Precision::Int8 => self.head.forward_quant_into(&ws.h, &mut ws.qx, &mut ws.a),
+        }
+    }
+
+    /// [`Lstm::score_window`] through a selectable numeric path.
+    ///
+    /// # Panics
+    /// If `window_flat` is not a whole number of steps or `next` has the
+    /// wrong width.
+    pub fn score_window_with(
+        &self,
+        window_flat: &[f32],
+        next: &[f32],
+        ws: &mut Workspace,
+        precision: Precision,
+    ) -> f32 {
         let d = self.config.input_dim;
         assert_eq!(next.len(), d, "next-vector width mismatch");
         assert!(
@@ -347,16 +427,11 @@ impl Lstm {
         for step in window_flat.chunks_exact(d) {
             let grew = ws.x.copy_from_flat(1, d, step);
             ws.note(grew);
-            self.step_batched(ws);
+            self.step_batched(ws, precision);
         }
-        let grew = self.head.forward_into(&ws.h, &mut ws.a);
+        let grew = self.head_forward(ws, precision);
         ws.note(grew);
-        ws.a.row_slice(0)
-            .iter()
-            .zip(next)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f32>()
-            / d as f32
+        crate::kernels::mse_row(ws.a.row_slice(0), next)
     }
 
     /// Threshold at the given percentile of training errors.
@@ -549,6 +624,49 @@ mod tests {
                 "hot-path {hot} vs reference {reference}"
             );
         }
+    }
+
+    #[test]
+    fn int8_scoring_tracks_f32_and_flags_violations() {
+        let dim = 6;
+        let (windows, nexts) = cyclic_data(100, dim, 29);
+        let model = Lstm::train(quick_config(dim), &windows, &nexts);
+        let threshold = model.threshold(99.0);
+        let mut ws = Workspace::new();
+        let f32_scores = model.score_batch_with(&windows, &nexts, &mut ws, Precision::F32);
+        let int8_scores = model.score_batch_with(&windows, &nexts, &mut ws, Precision::Int8);
+        for (k, (a, b)) in f32_scores.iter().zip(&int8_scores).enumerate() {
+            assert!((a - b).abs() < 0.01, "pair {k}: int8 {b} drifted from f32 {a}");
+        }
+        // Single-window int8 path agrees with the batched one, and order
+        // violations still score above threshold through int8.
+        let hot =
+            model.score_window_with(windows[0].data(), nexts[0].data(), &mut ws, Precision::Int8);
+        assert!((hot - int8_scores[0]).abs() < 1e-5);
+        let mut flagged = 0;
+        for (w, n) in windows.iter().zip(&nexts).take(20) {
+            let wrong_idx = (n.data().iter().position(|&v| v == 1.0).unwrap() + 2) % dim;
+            let mut wrong = vec![0.0f32; dim];
+            wrong[wrong_idx] = 1.0;
+            if model.score_window_with(w.data(), &wrong, &mut ws, Precision::Int8) > threshold {
+                flagged += 1;
+            }
+        }
+        assert!(flagged >= 18, "int8 flagged only {flagged}/20 violations");
+    }
+
+    #[test]
+    fn int8_steady_state_scoring_does_not_allocate() {
+        let dim = 4;
+        let (windows, nexts) = cyclic_data(20, dim, 31);
+        let model = Lstm::train(LstmConfig { epochs: 2, ..quick_config(dim) }, &windows, &nexts);
+        let mut ws = Workspace::new();
+        model.score_window_with(windows[0].data(), nexts[0].data(), &mut ws, Precision::Int8);
+        let warm = ws.grow_events();
+        for (w, n) in windows.iter().zip(&nexts) {
+            model.score_window_with(w.data(), n.data(), &mut ws, Precision::Int8);
+        }
+        assert_eq!(ws.grow_events(), warm, "steady-state int8 LSTM scoring grew a buffer");
     }
 
     #[test]

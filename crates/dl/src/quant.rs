@@ -1,0 +1,258 @@
+//! Int8 weight quantization for the inference hot path.
+//!
+//! [`QuantLinear`] snapshots a dense weight matrix into int8 at model load
+//! (per-**output-row** asymmetric affine: one `scale` + `zero_point` per
+//! output neuron), and scores against it with dynamically-quantized int8
+//! inputs and i32 accumulation. The expensive inner product runs entirely
+//! in integers ([`crate::kernels::dot_i8_i32`]); floats appear once per
+//! output value, in the dequantization:
+//!
+//! ```text
+//! w[n][k] ≈ s_n · (q_w[n][k] − z_n)         (per-row affine weights)
+//! x[k]    ≈ s_x · q_x[k]                    (symmetric dynamic input)
+//! Σ_k x[k]·w[n][k] ≈ s_x·s_n · (Σ q_x[k]·q_w[n][k]  −  z_n · Σ q_x[k])
+//! ```
+//!
+//! `Σ q_x[k]` is shared across all output rows, so the per-row cost over
+//! the integer dot is one multiply-subtract. Both quantized magnitudes are
+//! clamped to ±127 (`-128` unused), so a length-264 product peaks at
+//! 264 · 127² ≈ 4.3 M — comfortably inside i32.
+//!
+//! Accuracy: weights and activations in this crate are O(1), so the affine
+//! grid step is ~1/127 of each row's range; measured score drift on the
+//! fig4/table2 reference models stays well inside the thresholds' margins
+//! (bounds are CI-gated in `sixg-xsec`'s int8 parity tests).
+//!
+//! [`Precision`] is the user-facing selector, plumbed from `PipelineConfig`
+//! down to each detector's scoring calls.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernels::dot_i8_i32;
+use crate::tensor::Matrix;
+
+/// Numeric path a detector scores with. Plumbed from `PipelineConfig`
+/// through `MobiWatchConfig` to the per-window scoring calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Precision {
+    /// Full f32 math through the (SIMD or scalar) GEMM kernels.
+    #[default]
+    F32,
+    /// Int8-quantized weights, dynamic int8 inputs, i32 accumulation.
+    Int8,
+}
+
+/// Largest quantized magnitude. `-128` is excluded so negation and the
+/// i32 product bounds stay symmetric.
+const QMAX: f32 = 127.0;
+
+/// An int8 snapshot of one dense weight matrix, laid out transposed
+/// (row `n` holds the fan-in weights of output `n`, contiguous for the
+/// integer dot). Built once per deployed model via [`QuantLinear::from_weights`]
+/// and cached next to the f32 weights.
+#[derive(Debug, Clone)]
+pub struct QuantLinear {
+    /// `fan_out × fan_in`, row-major, transposed relative to the f32 layout.
+    q: Vec<i8>,
+    fan_in: usize,
+    fan_out: usize,
+    /// Per-output-row dequantization scale (`s_n`).
+    scale: Vec<f32>,
+    /// Per-output-row zero point (`z_n`), in quantized units.
+    zero: Vec<i32>,
+}
+
+impl QuantLinear {
+    /// Quantizes `weights` (`fan_in × fan_out`, the layout [`crate::Dense`]
+    /// stores) into per-output-row int8.
+    pub fn from_weights(weights: &Matrix) -> Self {
+        let (fan_in, fan_out) = (weights.rows, weights.cols);
+        let mut q = vec![0i8; fan_in * fan_out];
+        let mut scale = vec![1.0f32; fan_out];
+        let mut zero = vec![0i32; fan_out];
+        for n in 0..fan_out {
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for k in 0..fan_in {
+                let w = weights.data[k * fan_out + n];
+                lo = lo.min(w);
+                hi = hi.max(w);
+            }
+            if fan_in == 0 {
+                continue;
+            }
+            let (s, z) = if hi > lo {
+                // Affine map [lo, hi] -> [-127, 127].
+                let s = (hi - lo) / (2.0 * QMAX);
+                (s, (-QMAX - lo / s).round() as i32)
+            } else if lo != 0.0 {
+                // Constant row: pick the scale that represents it exactly.
+                (lo / QMAX, 0)
+            } else {
+                (1.0, 0)
+            };
+            scale[n] = s;
+            zero[n] = z;
+            let row = &mut q[n * fan_in..(n + 1) * fan_in];
+            for (k, qv) in row.iter_mut().enumerate() {
+                let w = weights.data[k * fan_out + n];
+                *qv = ((w / s).round() as i32 + z).clamp(-127, 127) as i8;
+            }
+        }
+        QuantLinear { q, fan_in, fan_out, scale, zero }
+    }
+
+    /// Fan-in (input width) of the quantized layer.
+    pub fn fan_in(&self) -> usize {
+        self.fan_in
+    }
+
+    /// Fan-out (output width) of the quantized layer.
+    pub fn fan_out(&self) -> usize {
+        self.fan_out
+    }
+
+    /// Computes `out[n] (+)= Σ_k x[k] · w[n][k]` through the int8 path for
+    /// one input row. `qx` is reusable scratch (no allocation once grown);
+    /// when `accumulate` is false `out` is overwritten.
+    ///
+    /// # Panics
+    /// If `x.len() != fan_in` or `out.len() != fan_out`.
+    pub fn forward_row(&self, x: &[f32], qx: &mut Vec<i8>, out: &mut [f32], accumulate: bool) {
+        assert_eq!(x.len(), self.fan_in, "quantized input width mismatch");
+        assert_eq!(out.len(), self.fan_out, "quantized output width mismatch");
+        let sx = quantize_input(x, qx);
+        let mut sum_qx: i32 = 0;
+        for &v in qx.iter() {
+            sum_qx += i32::from(v);
+        }
+        for (n, o) in out.iter_mut().enumerate() {
+            let w_row = &self.q[n * self.fan_in..(n + 1) * self.fan_in];
+            let acc = dot_i8_i32(qx, w_row) - self.zero[n] * sum_qx;
+            let y = sx * self.scale[n] * acc as f32;
+            if accumulate {
+                *o += y;
+            } else {
+                *o = y;
+            }
+        }
+    }
+
+    /// Round-trips the quantized weights back to f32 (`fan_in × fan_out`,
+    /// the [`crate::Dense`] layout) — used by tests to bound the
+    /// representation error directly.
+    pub fn dequantized(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.fan_in, self.fan_out);
+        for n in 0..self.fan_out {
+            for k in 0..self.fan_in {
+                let qv = i32::from(self.q[n * self.fan_in + k]);
+                m.data[k * self.fan_out + n] = self.scale[n] * (qv - self.zero[n]) as f32;
+            }
+        }
+        m
+    }
+}
+
+/// Symmetric dynamic quantization of one activation row into `qx`
+/// (resized in place, no allocation once grown). Returns the scale `s_x`
+/// with `x[k] ≈ s_x · qx[k]`.
+fn quantize_input(x: &[f32], qx: &mut Vec<i8>) -> f32 {
+    qx.clear();
+    let max_abs = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        qx.resize(x.len(), 0);
+        return 1.0;
+    }
+    let s = max_abs / QMAX;
+    let inv = QMAX / max_abs;
+    qx.extend(x.iter().map(|&v| (v * inv).round().clamp(-QMAX, QMAX) as i8));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.data.iter_mut() {
+            *v = rng.gen_range(-0.8..0.8);
+        }
+        m
+    }
+
+    #[test]
+    fn weight_round_trip_error_is_bounded_by_the_grid_step() {
+        let w = random_matrix(64, 48, 7);
+        let q = QuantLinear::from_weights(&w);
+        let back = q.dequantized();
+        for (orig, deq) in w.data.iter().zip(&back.data) {
+            // Each row spans < 1.6, so the grid step is < 1.6/254 ≈ 0.0063;
+            // rounding error is at most half a step plus fp noise.
+            assert!(
+                (orig - deq).abs() < 0.004,
+                "weight {orig} dequantized to {deq}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_row_tracks_f32_gemv() {
+        let w = random_matrix(66, 48, 11);
+        let q = QuantLinear::from_weights(&w);
+        let mut rng = StdRng::seed_from_u64(13);
+        let x: Vec<f32> = (0..66).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let mut want = vec![0.0f32; 48];
+        for (n, w_) in want.iter_mut().enumerate() {
+            *w_ = (0..66).map(|k| x[k] * w.data[k * 48 + n]).sum();
+        }
+        let mut qx = Vec::new();
+        let mut got = vec![0.0f32; 48];
+        q.forward_row(&x, &mut qx, &mut got, false);
+        for (g, w_) in got.iter().zip(&want) {
+            // Error budget: input grid (2/127) and weight grid (~1/160)
+            // rounding errors random-walk over 66 accumulated terms.
+            assert!((g - w_).abs() < 0.1, "int8 {g} vs f32 {w_}");
+        }
+        // Accumulate mode adds on top instead of overwriting.
+        let mut acc = vec![1.0f32; 48];
+        q.forward_row(&x, &mut qx, &mut acc, true);
+        for (a, g) in acc.iter().zip(&got) {
+            assert!((a - (1.0 + g)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn degenerate_rows_quantize_exactly() {
+        // A constant nonzero column and an all-zero column must round-trip
+        // exactly (scale chosen to represent the constant).
+        let mut w = Matrix::zeros(5, 2);
+        for k in 0..5 {
+            w.data[k * 2] = -0.37;
+            w.data[k * 2 + 1] = 0.0;
+        }
+        let q = QuantLinear::from_weights(&w);
+        let back = q.dequantized();
+        for k in 0..5 {
+            assert!((back.data[k * 2] - (-0.37)).abs() < 1e-6);
+            assert_eq!(back.data[k * 2 + 1], 0.0);
+        }
+        // Zero input vector scores exactly zero.
+        let mut qx = Vec::new();
+        let mut out = vec![9.0f32; 2];
+        q.forward_row(&[0.0; 5], &mut qx, &mut out, false);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn precision_serde_round_trip() {
+        for p in [Precision::F32, Precision::Int8] {
+            let s = serde_json::to_string(&p).unwrap();
+            assert_eq!(serde_json::from_str::<Precision>(&s).unwrap(), p);
+        }
+        assert_eq!(serde_json::from_str::<Precision>("\"Int8\"").unwrap(), Precision::Int8);
+    }
+}

@@ -12,9 +12,9 @@ use serde::{Deserialize, Serialize};
 /// A dense row-major matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
-    rows: usize,
-    cols: usize,
-    data: Vec<f32>,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    pub(crate) data: Vec<f32>,
 }
 
 impl Default for Matrix {
@@ -152,29 +152,11 @@ impl Matrix {
         self.gemm_acc(rhs, out);
     }
 
-    /// The blocked i-k-j GEMM kernel behind both `matmul_into` variants.
-    /// Blocking over `k` keeps a `K_BLOCK × cols` panel of `rhs` hot in
-    /// cache while every output row streams through it; the `j` loop is a
-    /// contiguous saxpy the compiler vectorizes.
+    /// The one GEMM entry point behind both `matmul_into` variants (and,
+    /// through them, `matmul` and every forward pass): dispatches to the
+    /// wide-lane or scalar kernel in [`crate::kernels`].
     fn gemm_acc(&self, rhs: &Matrix, out: &mut Matrix) {
-        const K_BLOCK: usize = 64;
-        let n = rhs.cols;
-        for k0 in (0..self.cols).step_by(K_BLOCK) {
-            let k1 = (k0 + K_BLOCK).min(self.cols);
-            for i in 0..self.rows {
-                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (k, &a) in a_row.iter().enumerate().take(k1).skip(k0) {
-                    if a == 0.0 {
-                        continue; // one-hot inputs are mostly zero
-                    }
-                    let rhs_row = &rhs.data[k * n..(k + 1) * n];
-                    for (o, b) in out_row.iter_mut().zip(rhs_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-        }
+        crate::kernels::gemm_acc(&self.data, self.rows, self.cols, &rhs.data, rhs.cols, &mut out.data);
     }
 
     /// Copies another matrix into this one, reusing the allocation.
@@ -430,6 +412,28 @@ mod tests {
         // Steady state: same shapes reuse the buffer.
         assert!(!a.matmul_into(&b, &mut out), "second call must not grow");
         assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_delegates_to_the_shared_kernel() {
+        // `matmul`, `matmul_into`, and `matmul_acc_into` must all run the
+        // same kernel dispatch: pinning the scalar kernel has to change all
+        // of them in lockstep (bit-identical to a direct scalar-kernel call).
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = Matrix::xavier(5, 37, &mut rng);
+        let b = Matrix::xavier(37, 19, &mut rng);
+        let mut want = vec![0.0f32; 5 * 19];
+        crate::kernels::gemm_acc_scalar(a.data(), 5, 37, b.data(), 19, &mut want);
+        crate::kernels::set_force_scalar(true);
+        let via_matmul = a.matmul(&b);
+        let mut via_into = Matrix::default();
+        a.matmul_into(&b, &mut via_into);
+        let mut via_acc = Matrix::zeros(5, 19);
+        a.matmul_acc_into(&b, &mut via_acc);
+        crate::kernels::set_force_scalar(false);
+        assert_eq!(via_matmul.data(), &want[..]);
+        assert_eq!(via_into.data(), &want[..]);
+        assert_eq!(via_acc.data(), &want[..]);
     }
 
     #[test]

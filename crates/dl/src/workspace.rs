@@ -29,6 +29,8 @@ pub struct Workspace {
     pub(crate) h: Matrix,
     /// LSTM cell state.
     pub(crate) c: Matrix,
+    /// Int8 input-quantization scratch for the quantized inference path.
+    pub(crate) qx: Vec<i8>,
     grows: usize,
 }
 
@@ -51,6 +53,18 @@ impl Workspace {
     #[inline]
     pub(crate) fn note(&mut self, grew: bool) {
         self.grows += usize::from(grew);
+    }
+
+    /// Ensures the int8 scratch can hold `len` lanes, counting growth. The
+    /// quantized paths call this once per scoring call with the widest
+    /// layer fan-in, so the per-layer quantization never allocates.
+    #[inline]
+    pub(crate) fn reserve_qx(&mut self, len: usize) {
+        if self.qx.capacity() < len {
+            self.qx.clear();
+            self.qx.reserve(len);
+            self.grows += 1;
+        }
     }
 }
 
