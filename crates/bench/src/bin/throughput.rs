@@ -24,9 +24,12 @@ use std::time::Instant;
 use xsec_attacks::DatasetBuilder;
 use xsec_bench::{obs, quick_mode, save_report};
 use xsec_dl::{FeatureConfig, Featurizer, Matrix, Precision, Workspace};
+use xsec_e2::{in_proc_pair, InProcTransport, RicAgent, RicAgentConfig};
 use xsec_mobiflow::{extract_from_events, TelemetryStream, UeMobiFlow};
 use xsec_obs::{FlightEvent, Obs, TraceStage};
-use xsec_types::AttackKind;
+use xsec_proto::{Direction, MessageKind};
+use xsec_ric::{RicPlatform, SubscriptionSpec, XApp, XAppContext};
+use xsec_types::{AttackKind, CellId, Duration, GnbId, Rnti, Timestamp};
 
 /// Runs `f` until `min_secs` of wall clock have elapsed; returns
 /// (iterations, elapsed seconds). Always runs at least once.
@@ -549,6 +552,178 @@ fn apply_baseline(kernels: &mut serde_json::Value, path: &str, text: &mut String
     text.push('\n');
 }
 
+/// An xApp that answers every delivered record with a Control Request
+/// pinned back to the record's cell — the minimal closed loop, so the
+/// scale bench exercises the full indication → control → ack chain
+/// without model inference in the way.
+struct EchoController;
+
+impl XApp for EchoController {
+    fn name(&self) -> &str {
+        "echo-controller"
+    }
+
+    fn on_records(
+        &mut self,
+        ctx: &mut XAppContext<'_>,
+        records: &[UeMobiFlow],
+        _window_end: Timestamp,
+    ) {
+        for record in records {
+            ctx.send_control_to(record.cell, vec![0xEC]);
+        }
+    }
+}
+
+/// One RIC terminating `agents` in-proc E2 connections, with either one
+/// active telemetry source (`mostly-idle`) or all of them (`all-active`).
+struct ScaleRig {
+    platform: RicPlatform,
+    agents: Vec<RicAgent<InProcTransport>>,
+    active: usize,
+    now: Timestamp,
+    pumps: u64,
+    conns_scanned: u64,
+    next_msg: u64,
+}
+
+const SCALE_PERIOD_MS: u32 = 10;
+
+impl ScaleRig {
+    fn new(agents: usize, active: usize) -> Self {
+        let mut platform = RicPlatform::new();
+        let mut ric_agents = Vec::with_capacity(agents);
+        for i in 0..agents {
+            let (agent_end, ric_end) = in_proc_pair();
+            let agent = RicAgent::new(
+                RicAgentConfig { gnb_id: GnbId(i as u32 + 1), cell: CellId(i as u32 + 1) },
+                agent_end,
+            )
+            .expect("agent starts");
+            platform.add_agent(Box::new(ric_end));
+            ric_agents.push(agent);
+        }
+        platform.register_xapp(
+            Box::new(EchoController),
+            SubscriptionSpec::telemetry(SCALE_PERIOD_MS),
+        );
+        let mut rig = ScaleRig {
+            platform,
+            agents: ric_agents,
+            active,
+            now: Timestamp::ZERO,
+            pumps: 0,
+            conns_scanned: 0,
+            next_msg: 0,
+        };
+        // E2 setup + subscription handshake, all agents in lockstep.
+        for _ in 0..3 {
+            rig.pump();
+            for agent in &mut rig.agents {
+                agent.poll(rig.now).expect("agent poll");
+            }
+        }
+        assert!(rig.agents.iter().all(|a| a.is_setup()), "handshake incomplete");
+        rig
+    }
+
+    fn pump(&mut self) {
+        let stats = self.platform.pump().expect("pump");
+        self.pumps += 1;
+        self.conns_scanned += stats.conns_scanned;
+    }
+
+    /// One report period: active agents log a record and flush their
+    /// indication, the platform turns each record into a control, and the
+    /// ack flows back. Idle agents are never touched — the reactor's
+    /// ready-queue is what keeps them off the pump's critical path.
+    fn round(&mut self) {
+        self.now += Duration::from_millis(u64::from(SCALE_PERIOD_MS));
+        for i in 0..self.active {
+            self.next_msg += 1;
+            let record = UeMobiFlow {
+                msg_id: self.next_msg,
+                timestamp: self.now,
+                cell: CellId(i as u32 + 1),
+                rnti: Rnti(1),
+                du_ue_id: 1,
+                direction: Direction::Uplink,
+                msg: MessageKind::RrcSetupRequest,
+                tmsi: None,
+                supi: None,
+                cipher_alg: None,
+                integrity_alg: None,
+                establishment_cause: None,
+                release_cause: None,
+            };
+            self.agents[i].push_record(record);
+            self.agents[i].poll(self.now).expect("agent poll");
+        }
+        // Deliver indications + ship controls, let agents ack, reap acks.
+        self.pump();
+        for i in 0..self.active {
+            self.agents[i].poll(self.now).expect("agent poll");
+        }
+        self.pump();
+    }
+}
+
+/// Reactor scale: one platform terminating 8/64/256 agents, mostly-idle
+/// (one telemetry source) vs all-active, measuring pump throughput and the
+/// send→ack control latency tail. The mostly-idle rows are the O(active)
+/// proof: per-round cost must not grow with the number of idle agents.
+fn ric_scale_section(min_secs: f64, text: &mut String) -> serde_json::Value {
+    text.push_str("RIC reactor scale (full indication -> control -> ack rounds):\n");
+    let mut configs = Vec::new();
+    let mut idle_rates = std::collections::HashMap::new();
+    for &agents in &[8usize, 64, 256] {
+        for (mode, active) in [("mostly-idle", 1usize), ("all-active", agents)] {
+            let mut rig = ScaleRig::new(agents, active);
+            // Warmup: let queues and histograms reach steady state.
+            for _ in 0..16 {
+                rig.round();
+            }
+            let (pumps0, scanned0) = (rig.pumps, rig.conns_scanned);
+            let sent0 = rig.platform.controls_acked() + rig.platform.controls_failed();
+            let (rounds, secs) = time_loop(min_secs, || rig.round());
+            let pumps = rig.pumps - pumps0;
+            let scanned = rig.conns_scanned - scanned0;
+            let acked = rig.platform.controls_acked() + rig.platform.controls_failed() - sent0;
+            let rate = rounds as f64 / secs;
+            let p50 = rig.platform.control_latency().percentile_us(50.0);
+            let p99 = rig.platform.control_latency().percentile_us(99.0);
+            let conns_per_pump = scanned as f64 / pumps as f64;
+            let dropped = rig.platform.egress_dropped()
+                + rig.agents.iter().map(|a| a.egress_dropped()).sum::<u64>();
+            if mode == "mostly-idle" {
+                idle_rates.insert(agents, rate);
+            }
+            text.push_str(&format!(
+                "  {agents:>3} agents {mode:<11} {rate:>9.0} rounds/s  ack p50={p50}µs p99={p99}µs  \
+                 conns/pump={conns_per_pump:.1}  acked={acked}  drops={dropped}\n",
+            ));
+            configs.push(json!({
+                "agents": agents,
+                "mode": mode,
+                "active": active,
+                "rounds_per_sec": rate,
+                "controls_acked": acked,
+                "acks_complete": acked == rounds * active as u64
+                    && rig.platform.controls_failed() == 0,
+                "ack_p50_us": p50,
+                "ack_p99_us": p99,
+                "conns_scanned_per_pump": conns_per_pump,
+                "egress_dropped": dropped,
+            }));
+        }
+    }
+    let idle_scaling = idle_rates[&256] / idle_rates[&8];
+    text.push_str(&format!(
+        "  mostly-idle scaling 256 vs 8 agents: {idle_scaling:.2}x  (reactor O(active) target >= 0.5x)\n\n",
+    ));
+    json!({ "configs": configs, "idle_scaling_256_vs_8": idle_scaling })
+}
+
 fn main() {
     let quick = quick_mode();
     let min_secs = if quick { 0.2 } else { 0.8 };
@@ -571,6 +746,7 @@ fn main() {
         min_secs,
         &mut text,
     );
+    let ric_scale = ric_scale_section(min_secs, &mut text);
 
     let report = json!({
         "quick": quick,
@@ -580,6 +756,7 @@ fn main() {
         "streaming": streaming,
         "recorder": recorder,
         "sharded": sharded,
+        "ric_scale": ric_scale,
     });
     std::fs::write(
         "BENCH_throughput.json",

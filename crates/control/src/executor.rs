@@ -178,6 +178,42 @@ impl ActionExecutor {
         None
     }
 
+    /// Correlates an ack that carries a causal trace id. The oldest
+    /// in-flight transmission of the action with that trace owns the ack;
+    /// this makes correlation robust to cross-connection reordering (acks
+    /// from different agents interleave arbitrarily at the RIC) and to
+    /// broadcast fan-out, where one submitted action earns several acks —
+    /// the first settles it, the extras are dropped instead of stealing a
+    /// later sender's FIFO slot. Untraced acks fall back to plain FIFO.
+    pub fn on_ack_traced(
+        &mut self,
+        success: bool,
+        trace: Option<u64>,
+        now: Timestamp,
+    ) -> Option<AckResolution> {
+        let Some(trace) = trace else {
+            return self.on_ack(success, now);
+        };
+        let pos = self
+            .inflight
+            .iter()
+            .position(|&idx| self.tracked[idx].action.trace == Some(trace))?;
+        let idx = self.inflight.remove(pos);
+        let tracked = &mut self.tracked[idx];
+        if !matches!(tracked.state, ActionState::Sent { .. }) {
+            // A stale retry's ack: the action already resolved.
+            return None;
+        }
+        tracked.state = ActionState::Acked { at: now, success };
+        Some(AckResolution {
+            id: tracked.action.id,
+            kind: tracked.action.action.name(),
+            success,
+            detection_to_ack: tracked.detection_to_ack(),
+            trace: tracked.action.trace,
+        })
+    }
+
     /// Advances TTL expiry and attempt exhaustion.
     pub fn tick(&mut self, now: Timestamp) {
         for tracked in &mut self.tracked {

@@ -51,12 +51,14 @@ pub mod experiments;
 pub mod mitigator;
 pub mod mobiwatch;
 pub mod pipeline;
+pub mod scale;
 pub mod shard;
 pub mod smo;
 
 pub use analyzer::{AnalyzerFinding, LlmAnalyzer};
 pub use mitigator::{FindingNotice, MitigationSummary, Mitigator, MitigatorState};
 pub use mobiwatch::{Detector, MobiWatch, MobiWatchConfig};
+pub use scale::{ScaleDeployment, ScaleOutcome};
 pub use shard::ShardedMobiWatch;
 pub use pipeline::{ClosedLoopOutcome, Pipeline, PipelineConfig, PipelineOutcome};
 pub use smo::{A1PolicyClient, DeployedModels, Smo, TrainingConfig};

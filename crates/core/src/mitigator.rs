@@ -212,12 +212,14 @@ impl Mitigator {
 }
 
 /// Ships everything the executor deems due, each action pinned to its cell
-/// and carrying its trace for ack correlation at the pump.
+/// and carrying its trace for ack correlation at the pump. QuarantineCell
+/// actions fan out to the cell's declared neighbours as well — the
+/// displaced attacker's next hop should find the door already closing.
 fn ship_due(state: &mut MitigatorState, now: Timestamp, ctx: &mut XAppContext<'_>, obs: &Obs) {
     for (cell, trace, payload) in state.executor.take_due(now) {
+        let action = xsec_control::ControlAction::decode(&payload).ok();
         if let Some(trace) = trace {
-            let action_id =
-                xsec_control::ControlAction::decode(&payload).map(|a| a.id).unwrap_or(0);
+            let action_id = action.as_ref().map(|a| a.id).unwrap_or(0);
             obs.recorder.record_stage(FlightEvent {
                 trace,
                 stage: TraceStage::ControlShip,
@@ -226,7 +228,14 @@ fn ship_due(state: &mut MitigatorState, now: Timestamp, ctx: &mut XAppContext<'_
                 b: payload.len() as u64,
             });
         }
-        ctx.send_control_traced(cell, trace, payload);
+        let quarantine = matches!(
+            action.map(|a| a.action),
+            Some(xsec_control::MitigationAction::QuarantineCell { .. })
+        );
+        match (cell, quarantine) {
+            (Some(cell), true) => ctx.send_control_broadcast(cell, trace, payload),
+            _ => ctx.send_control_traced(cell, trace, payload),
+        }
     }
 }
 
@@ -257,7 +266,12 @@ pub fn assess(notice: &FindingNotice, records: &[UeMobiFlow]) -> ThreatAssessmen
     } else {
         margin
     };
-    let cell = records.first().map_or(CellId(0), |r| r.cell);
+    // The notice's record list is trailing *global* context followed by the
+    // flagged window, so the last record is the detection itself — its cell
+    // is the attack cell. (The first record is the oldest context line; in a
+    // multi-cell deployment that is usually some *other* cell's traffic, and
+    // targeting it mis-aims every cell-scoped action.)
+    let cell = records.last().map_or(CellId(0), |r| r.cell);
 
     let dominant_cause = dominant_setup_cause(records);
     let implicated: Vec<&UeMobiFlow> = match attack {
@@ -360,9 +374,15 @@ impl XApp for Mitigator {
             }
             CONTROL_ACKS_TOPIC => {
                 let Some(&flag) = payload.first() else { return };
+                // Traced acks ([success][trace BE]) correlate by trace id —
+                // robust to cross-agent reordering and broadcast fan-out;
+                // bare one-byte acks settle FIFO as before.
+                let ack_trace = (payload.len() == 9)
+                    .then(|| u64::from_be_bytes(payload[1..9].try_into().unwrap()))
+                    .filter(|t| *t != 0);
                 let mut state = self.state.lock();
                 let now = state.clock;
-                if let Some(res) = state.executor.on_ack(flag != 0, now) {
+                if let Some(res) = state.executor.on_ack_traced(flag != 0, ack_trace, now) {
                     let outcome = if res.success { "acked" } else { "failed" };
                     self.obs
                         .counter(

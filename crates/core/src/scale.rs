@@ -1,0 +1,426 @@
+//! Multi-agent RIC deployments: one platform terminating N gNB agents.
+//!
+//! [`crate::pipeline::Pipeline`] wires a single agent to the platform —
+//! the paper's testbed shape. This module scales that out: one
+//! [`RicPlatform`] terminating one in-proc E2 connection *per cell*, the
+//! shape the readiness-driven reactor exists for. The same xApp set
+//! (MobiWatch, analyzer, mitigator) serves every agent, a declared
+//! neighbour topology arms QuarantineCell broadcast fan-out, and the
+//! per-agent ack-latency histograms land in the shared registry.
+//!
+//! ## Determinism across agent counts
+//!
+//! Detections and incident traces must not depend on how many agents the
+//! traffic is split over — a 1-agent and a 256-agent run of the same
+//! records are the same experiment. The harness guarantees this by
+//! construction: records buffer per report bucket and flush in *cell-major*
+//! order (stable per-cell arrival order), so the concatenation of per-agent
+//! indications the platform delivers is the identical global sequence at
+//! every agent count. Per-UE sharded scoring, trace allocation, and the
+//! mitigator's virtual clock are all pure functions of that sequence.
+
+use crate::analyzer::{AnalyzerState, LlmAnalyzer};
+use crate::mitigator::{
+    MitigationSummary, Mitigator, MitigatorState, A1_POLICY_TOPIC, CONTROL_ACKS_TOPIC,
+    FINDINGS_TOPIC,
+};
+use crate::mobiwatch::{MobiWatch, MobiWatchConfig, MobiWatchState};
+use crate::pipeline::Pipeline;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use xsec_control::{ControlAction, PolicyEngine};
+use xsec_e2::{in_proc_pair, InProcTransport, RicAgent, RicAgentConfig};
+use xsec_llm::SimulatedExpert;
+use xsec_mobiflow::{TelemetryStream, UeMobiFlow};
+use xsec_obs::{Obs, Snapshot};
+use xsec_ran::stream::StreamingScenario;
+use xsec_ric::{RicPlatform, SubscriptionSpec, XApp};
+use xsec_types::{CellId, Duration, GnbId, Timestamp};
+
+/// One platform, N agents (agent `i` serves `CellId(i + 1)`, matching the
+/// streaming engine's cell-index layout), and the standard xApp trio.
+pub struct ScaleDeployment {
+    obs: Obs,
+    agents: Vec<RicAgent<InProcTransport>>,
+    platform: RicPlatform,
+    watch_state: Arc<Mutex<MobiWatchState>>,
+    analyzer_state: Arc<Mutex<AnalyzerState>>,
+    mitigator_state: Arc<Mutex<MitigatorState>>,
+    period: Duration,
+    /// Records buffered for the current report bucket, flushed cell-major.
+    bucket: Vec<UeMobiFlow>,
+    records: usize,
+}
+
+/// End-of-run summary for a scale deployment.
+#[derive(Debug)]
+pub struct ScaleOutcome {
+    /// Telemetry records replayed.
+    pub records: usize,
+    /// Windows the detector flagged.
+    pub flagged_windows: usize,
+    /// Alerts published to the analyzer (post-cooldown).
+    pub alerts: usize,
+    /// Analyzer findings produced.
+    pub findings: usize,
+    /// Closed-loop mitigation outcome.
+    pub mitigation: MitigationSummary,
+    /// End-of-run metrics snapshot (includes the per-agent
+    /// `xsec_ric_control_ack_latency_us{agent="gnb-<id>"}` histograms).
+    pub metrics: Snapshot,
+}
+
+impl ScaleDeployment {
+    /// Deploys `agents` connections with a ring topology of radius 1 (each
+    /// cell's neighbours are the adjacent cells, wrapping).
+    pub fn new(pipeline: &Pipeline, agents: usize) -> Self {
+        Self::with_ring_radius(pipeline, agents, 1)
+    }
+
+    /// Deploys `agents` connections; each cell's declared neighbours are
+    /// the `radius` cells on either side of it in the ring (0 = no
+    /// topology, broadcasts degrade to unicasts).
+    pub fn with_ring_radius(pipeline: &Pipeline, agents: usize, radius: usize) -> Self {
+        assert!(agents > 0, "at least one agent");
+        let config = pipeline.config();
+        let obs = Obs::from_env();
+        let mut platform = RicPlatform::with_obs(obs.clone());
+        let mut ric_agents = Vec::with_capacity(agents);
+        for i in 0..agents {
+            let (agent_end, ric_end) = in_proc_pair();
+            let mut agent = RicAgent::new(
+                RicAgentConfig { gnb_id: GnbId(i as u32 + 1), cell: CellId(i as u32 + 1) },
+                agent_end,
+            )
+            .expect("agent starts");
+            agent.attach_obs(&obs);
+            platform.add_agent(Box::new(ric_end));
+            ric_agents.push(agent);
+        }
+        if agents > 1 && radius > 0 {
+            for i in 0..agents {
+                let mut neighbours = Vec::new();
+                for d in 1..=radius.min(agents - 1) {
+                    neighbours.push(CellId(((i + d) % agents) as u32 + 1));
+                    neighbours.push(CellId(((i + agents - d) % agents) as u32 + 1));
+                }
+                neighbours.dedup();
+                platform.set_neighbours(CellId(i as u32 + 1), neighbours);
+            }
+        }
+
+        let watch_config = MobiWatchConfig {
+            detector: config.detector,
+            precision: config.precision,
+            ..MobiWatchConfig::default()
+        };
+        let (watch, watch_state): (Box<dyn XApp>, _) = if config.scoring_shards > 0 {
+            let (mut pool, state) = crate::shard::ShardedMobiWatch::new(
+                pipeline.models().clone(),
+                watch_config,
+                config.scoring_shards,
+            );
+            pool.attach_obs(&obs);
+            (Box::new(pool), state)
+        } else {
+            let (mut watch, state) = MobiWatch::new(pipeline.models().clone(), watch_config);
+            watch.attach_obs(&obs);
+            (Box::new(watch), state)
+        };
+        let (mut analyzer, analyzer_state) = LlmAnalyzer::new(
+            Box::new(SimulatedExpert::new(config.personality)),
+            "anomalies",
+        );
+        analyzer.attach_obs(&obs);
+        let (mitigator, mitigator_state) =
+            Mitigator::with_obs(PolicyEngine::default(), obs.clone());
+        platform.register_xapp(watch, SubscriptionSpec::telemetry(config.report_period_ms));
+        platform
+            .register_xapp(Box::new(analyzer), SubscriptionSpec::topics_only(&["anomalies"]));
+        platform.register_xapp(
+            Box::new(mitigator),
+            SubscriptionSpec::telemetry(config.report_period_ms)
+                .with_topic(FINDINGS_TOPIC)
+                .with_topic(CONTROL_ACKS_TOPIC)
+                .with_topic(A1_POLICY_TOPIC),
+        );
+
+        let period = Duration::from_millis(u64::from(config.report_period_ms));
+        let mut d = ScaleDeployment {
+            obs,
+            agents: ric_agents,
+            platform,
+            watch_state,
+            analyzer_state,
+            mitigator_state,
+            period,
+            bucket: Vec::new(),
+            records: 0,
+        };
+        // E2 setup + subscription handshake, all agents in lockstep.
+        for _ in 0..3 {
+            d.platform.pump().expect("pump");
+            for agent in &mut d.agents {
+                agent.poll(Timestamp::ZERO).expect("agent poll");
+            }
+        }
+        assert!(d.agents.iter().all(|a| a.is_setup()), "handshake incomplete");
+        d
+    }
+
+    /// The shared observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The platform (for reactor counters: acks, drops, broadcast copies).
+    pub fn platform(&self) -> &RicPlatform {
+        &self.platform
+    }
+
+    /// Connected agents.
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Report period in force.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Frames dropped RAN-side across every agent's egress queue.
+    pub fn agent_egress_dropped(&self) -> u64 {
+        self.agents.iter().map(|a| a.egress_dropped()).sum()
+    }
+
+    /// Shared mitigator state (executor outcomes, supervision queue).
+    pub fn mitigator_state(&self) -> Arc<Mutex<MitigatorState>> {
+        self.mitigator_state.clone()
+    }
+
+    /// The agent index owning `cell` (modulo, so any cell routes somewhere).
+    fn agent_for(&self, cell: CellId) -> usize {
+        if self.agents.len() <= 1 {
+            0
+        } else {
+            (cell.0.saturating_sub(1) as usize) % self.agents.len()
+        }
+    }
+
+    /// Buffers one record for the current report bucket.
+    pub fn push_record(&mut self, record: UeMobiFlow) {
+        self.bucket.push(record);
+    }
+
+    /// Flushes the bucket to the owning agents in cell-major order — the
+    /// invariant that makes delivered record order (and therefore every
+    /// detection and trace) independent of the agent count.
+    fn flush_bucket(&mut self) {
+        self.bucket.sort_by_key(|r| r.cell.0);
+        for record in std::mem::take(&mut self.bucket) {
+            self.records += 1;
+            let ai = self.agent_for(record.cell);
+            self.agents[ai].push_record(record);
+        }
+    }
+
+    /// Closes one report bucket at `now`: ships buffered records, drives
+    /// every agent and the platform through indication → detection →
+    /// control → ack, and returns the decoded Control Requests each agent
+    /// received (the RAN-enforcement feed for closed loops).
+    pub fn step(&mut self, now: Timestamp) -> Vec<ControlAction> {
+        self.flush_bucket();
+        for agent in &mut self.agents {
+            agent.poll(now).expect("agent poll");
+        }
+        self.platform.pump().expect("pump");
+        self.platform.pump().expect("pump");
+        let mut actions = Vec::new();
+        for agent in &mut self.agents {
+            agent.poll(now).expect("agent poll");
+            for payload in agent.take_control_requests() {
+                if let Ok(action) = ControlAction::decode(&payload) {
+                    actions.push(action);
+                }
+            }
+        }
+        // Relay the acks back onto the mitigator's topic.
+        self.platform.pump().expect("pump");
+        actions
+    }
+
+    /// Open-loop replay of a telemetry stream in report-period buckets
+    /// (the multi-agent analogue of [`Pipeline::run_stream`]).
+    pub fn run_stream(&mut self, stream: &TelemetryStream) {
+        let mut bucket_end = Timestamp::ZERO + self.period;
+        for record in &stream.records {
+            while record.timestamp >= bucket_end {
+                self.step(bucket_end);
+                bucket_end += self.period;
+            }
+            self.push_record(record.clone());
+        }
+        for _ in 0..4 {
+            self.step(bucket_end);
+            bucket_end += self.period;
+        }
+    }
+
+    /// Closed-loop drive of a streaming scenario: each bucket's events
+    /// flow through the deployment, and every Control Request any agent
+    /// receives is enforced on the engine before the next bucket runs.
+    /// Returns the enforced actions in arrival order.
+    pub fn run_streaming(
+        &mut self,
+        engine: &mut StreamingScenario,
+        max_virtual: Duration,
+    ) -> Vec<(Timestamp, ControlAction)> {
+        engine.attach_recorder(&self.obs.recorder);
+        let hard_stop = Timestamp::ZERO + max_virtual;
+        let mut bucket_end = Timestamp::ZERO + self.period;
+        let mut cursor = 0u64;
+        let mut enforced = Vec::new();
+        let mut grace = 0;
+        while grace < 4 && bucket_end <= hard_stop {
+            let events = engine.step(bucket_end);
+            let chunk = xsec_mobiflow::extract_from_events_at(&events, cursor);
+            cursor += chunk.records.len() as u64;
+            for record in chunk.records {
+                self.push_record(record);
+            }
+            for action in self.step(bucket_end) {
+                engine.apply_control(bucket_end, &action);
+                enforced.push((bucket_end, action));
+            }
+            if engine.done() {
+                grace += 1;
+            }
+            bucket_end += self.period;
+        }
+        enforced
+    }
+
+    /// A canonical rendering of every completed detector window:
+    /// `index:score-bits:flag` per line. Byte-identical across agent
+    /// counts for the same traffic.
+    pub fn detections_digest(&self) -> String {
+        let state = self.watch_state.lock();
+        let mut out = String::new();
+        for (index, score, flagged) in &state.scores {
+            out.push_str(&format!("{}:{:08x}:{}\n", index, score.to_bits(), u8::from(*flagged)));
+        }
+        out
+    }
+
+    /// The run's incident traces as canonical JSONL (stable across
+    /// replays, shard counts, and agent counts).
+    pub fn incidents_digest(&self) -> String {
+        self.obs.recorder.incidents_jsonl()
+    }
+
+    /// Summarises the run.
+    pub fn outcome(&self) -> ScaleOutcome {
+        let watch = self.watch_state.lock();
+        ScaleOutcome {
+            records: self.records,
+            flagged_windows: watch.scores.iter().filter(|(_, _, f)| *f).count(),
+            alerts: watch.alerts.len(),
+            findings: self.analyzer_state.lock().findings.len(),
+            mitigation: self.mitigator_state.lock().summary(),
+            metrics: self.obs.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use xsec_mobiflow::extract_from_events;
+    use xsec_ran::stream::StreamConfig;
+
+    fn benign_stream(seed: u64, cells: usize, ues: u64) -> TelemetryStream {
+        let mut engine = StreamingScenario::new(StreamConfig {
+            seed,
+            cells,
+            total_ues: ues,
+            mean_inter_arrival: Duration::from_millis(6),
+            mobility_fraction: 0.0,
+            max_live: 64,
+            ..StreamConfig::default()
+        });
+        let mut events = Vec::new();
+        let mut deadline = Timestamp::ZERO + Duration::from_millis(100);
+        while !engine.done() {
+            events.extend(engine.step(deadline));
+            deadline += Duration::from_millis(100);
+        }
+        extract_from_events(&events)
+    }
+
+    #[test]
+    fn detections_and_traces_are_identical_across_agent_counts() {
+        // The satellite guarantee: splitting the same traffic over 1 vs N
+        // agents changes nothing observable — detector windows and incident
+        // traces come out byte-identical.
+        let mut config = PipelineConfig::small(31, 12);
+        config.scoring_shards = 2;
+        let training = benign_stream(91, 4, 40);
+        let pipeline = Pipeline::train_on(&config, &training);
+        let eval = {
+            let mut engine = StreamingScenario::new(StreamConfig {
+                seed: 92,
+                cells: 4,
+                total_ues: 36,
+                mean_inter_arrival: Duration::from_millis(6),
+                mobility_fraction: 0.0,
+                max_live: 64,
+                ..StreamConfig::default()
+            });
+            xsec_attacks::MigrationSchedule::tour(
+                &[2],
+                Timestamp::ZERO + Duration::from_millis(150),
+                Duration::from_millis(600),
+                xsec_attacks::MigrateConfig {
+                    connections_per_visit: 30,
+                    ..xsec_attacks::MigrateConfig::default()
+                },
+            )
+            .install(&mut engine);
+            let mut events = Vec::new();
+            let mut deadline = Timestamp::ZERO + Duration::from_millis(100);
+            while !engine.done() {
+                events.extend(engine.step(deadline));
+                deadline += Duration::from_millis(100);
+            }
+            extract_from_events(&events)
+        };
+
+        let mut digests = Vec::new();
+        for agents in [1usize, 4] {
+            let mut d = ScaleDeployment::new(&pipeline, agents);
+            d.run_stream(&eval);
+            let outcome = d.outcome();
+            assert!(outcome.flagged_windows > 0, "{agents}-agent run flagged nothing");
+            digests.push((d.detections_digest(), d.incidents_digest()));
+        }
+        assert!(!digests[0].0.is_empty(), "no detector windows recorded");
+        assert!(!digests[0].1.is_empty(), "no incident traces recorded");
+        assert_eq!(digests[0].0, digests[1].0, "detections diverge across agent counts");
+        assert_eq!(digests[0].1, digests[1].1, "incident traces diverge across agent counts");
+    }
+
+    #[test]
+    fn every_scale_agent_is_subscribed_and_routable() {
+        let config = PipelineConfig::small(32, 10);
+        let pipeline = Pipeline::train(&config);
+        let d = ScaleDeployment::new(&pipeline, 6);
+        assert_eq!(d.agent_count(), 6);
+        assert_eq!(d.platform().agent_count(), 6);
+        // MobiWatch + mitigator both subscribe on every agent.
+        // (Subscription counts live agent-side.)
+        assert_eq!(d.agents.iter().map(|a| a.subscription_count()).sum::<usize>(), 12);
+        assert_eq!(d.platform().egress_dropped(), 0);
+        assert_eq!(d.agent_egress_dropped(), 0);
+    }
+}

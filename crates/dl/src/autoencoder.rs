@@ -145,7 +145,7 @@ impl Autoencoder {
         layer: &Dense,
         src: &Matrix,
         dst: &mut Matrix,
-        qx: &mut Vec<i8>,
+        qx: &mut crate::quant::QuantScratch,
         precision: Precision,
     ) -> bool {
         match precision {
@@ -162,10 +162,6 @@ impl Autoencoder {
         ws: &'w mut Workspace,
         precision: Precision,
     ) -> &'w Matrix {
-        if precision == Precision::Int8 {
-            let widest = self.layers.iter().map(Dense::fan_in).max().unwrap_or(0);
-            ws.reserve_qx(widest);
-        }
         for (li, layer) in self.layers.iter().enumerate() {
             let grew = if li == 0 {
                 Self::layer_forward(layer, x, &mut ws.a, &mut ws.qx, precision)

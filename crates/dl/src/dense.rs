@@ -1,6 +1,6 @@
 //! Fully-connected layers with built-in Adam state.
 
-use crate::quant::QuantLinear;
+use crate::quant::{QuantLinear, QuantScratch};
 use crate::tensor::Matrix;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -184,9 +184,10 @@ impl Dense {
 
     /// Quantized inference forward pass: int8 weights (snapshotted on
     /// first use), dynamically int8-quantized inputs, i32 accumulation.
-    /// `qx` is the reusable input-quantization scratch (see
-    /// [`crate::Workspace::qx`]). Returns `true` when `out`'s buffer grew.
-    pub fn forward_quant_into(&self, x: &Matrix, qx: &mut Vec<i8>, out: &mut Matrix) -> bool {
+    /// The whole batch goes through one register-blocked integer GEMM
+    /// ([`QuantLinear::forward_batch`]); `qx` is the reusable
+    /// input-quantization scratch. Returns `true` when any buffer grew.
+    pub fn forward_quant_into(&self, x: &Matrix, qx: &mut QuantScratch, out: &mut Matrix) -> bool {
         assert_eq!(
             x.cols(),
             self.fan_in(),
@@ -196,12 +197,11 @@ impl Dense {
         );
         let q = self.quantized();
         let fan_out = self.fan_out();
-        let grew = out.resize(x.rows(), fan_out);
-        for r in 0..x.rows() {
-            let out_row = &mut out.data[r * fan_out..(r + 1) * fan_out];
-            out_row.copy_from_slice(self.bias.row_slice(0));
-            q.forward_row(x.row_slice(r), qx, out_row, true);
+        let mut grew = out.resize(x.rows(), fan_out);
+        for row in out.data_mut().chunks_exact_mut(fan_out) {
+            row.copy_from_slice(self.bias.row_slice(0));
         }
+        grew |= q.forward_batch(x, qx, out, true);
         self.activation.apply_inplace(out.data_mut());
         grew
     }
@@ -356,7 +356,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(29);
         let mut layer = Dense::new(8, 5, Activation::Relu, &mut rng);
         let x = Matrix::from_vec(2, 8, (0..16).map(|i| (i as f32 * 0.61).cos()).collect());
-        let mut qx = Vec::new();
+        let mut qx = QuantScratch::new();
         let (mut f32_out, mut q_out) = (Matrix::default(), Matrix::default());
         layer.forward_into(&x, &mut f32_out);
         layer.forward_quant_into(&x, &mut qx, &mut q_out);

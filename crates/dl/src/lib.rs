@@ -46,7 +46,7 @@ pub use dense::{Activation, Dense};
 pub use featurize::{FeatureConfig, Featurizer, WindowedDataset, FEATURES_PER_RECORD};
 pub use lstm::{Lstm, LstmConfig};
 pub use metrics::{percentile, Confusion, Threshold};
-pub use quant::{Precision, QuantLinear};
+pub use quant::{Precision, QuantLinear, QuantScratch};
 pub use ring::FeatureRing;
 pub use tensor::Matrix;
 pub use workspace::Workspace;

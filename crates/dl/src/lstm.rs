@@ -281,18 +281,20 @@ impl Lstm {
                 ws.h.matmul_acc_into(&self.u, &mut ws.z);
             }
             Precision::Int8 => {
-                ws.reserve_qx(self.config.input_dim.max(h_dim));
                 let grew = ws.z.resize(rows, 4 * h_dim);
                 ws.note(grew);
                 let qw = self.qw.get_or_init(|| QuantLinear::from_weights(&self.w));
                 let qu = self.qu.get_or_init(|| QuantLinear::from_weights(&self.u));
-                let Workspace { x, z, h, qx, .. } = ws;
-                for m in 0..rows {
-                    let zrow = &mut z.data[m * 4 * h_dim..(m + 1) * 4 * h_dim];
-                    zrow.copy_from_slice(self.b.row_slice(0));
-                    qw.forward_row(x.row_slice(m), qx, zrow, true);
-                    qu.forward_row(h.row_slice(m), qx, zrow, true);
-                }
+                let grew = {
+                    let Workspace { x, z, h, qx, .. } = &mut *ws;
+                    for zrow in z.data_mut().chunks_exact_mut(4 * h_dim) {
+                        zrow.copy_from_slice(self.b.row_slice(0));
+                    }
+                    // Both gate GEMMs run batched over all M sequences —
+                    // one register-blocked integer pass each, not 2·M GEMVs.
+                    qw.forward_batch(x, qx, z, true) | qu.forward_batch(h, qx, z, true)
+                };
+                ws.note(grew);
             }
         }
         // Gate math through the dispatched slice transcendentals: the wide

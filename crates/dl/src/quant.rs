@@ -28,7 +28,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::kernels::dot_i8_i32;
+use crate::kernels::{dot4_i8_i32, dot_i8_i32};
 use crate::tensor::Matrix;
 
 /// Numeric path a detector scores with. Plumbed from `PipelineConfig`
@@ -138,6 +138,65 @@ impl QuantLinear {
         }
     }
 
+    /// Computes `out (+)= x · W` (`rows × fan_in` by `fan_in × fan_out`)
+    /// through the int8 path for a whole batch. Every input row is
+    /// quantized exactly once into `scratch`; the integer GEMM then runs
+    /// register-blocked over four output rows per pass ([`dot4_i8_i32`]),
+    /// so each loaded input chunk feeds four weight rows instead of one.
+    /// Per-element results are bit-identical to
+    /// [`QuantLinear::forward_row`].
+    ///
+    /// Returns `true` when `scratch` had to grow (steady state is
+    /// allocation-free). When `accumulate` is false `out` is overwritten.
+    ///
+    /// # Panics
+    /// If `x.cols() != fan_in`, `out.rows() != x.rows()`, or
+    /// `out.cols() != fan_out`.
+    pub fn forward_batch(
+        &self,
+        x: &Matrix,
+        scratch: &mut QuantScratch,
+        out: &mut Matrix,
+        accumulate: bool,
+    ) -> bool {
+        assert_eq!(x.cols(), self.fan_in, "quantized input width mismatch");
+        assert_eq!(out.rows(), x.rows(), "quantized output rows mismatch");
+        assert_eq!(out.cols(), self.fan_out, "quantized output width mismatch");
+        let rows = x.rows();
+        let grew = scratch.load(x);
+        if !accumulate {
+            out.data_mut().fill(0.0);
+        }
+        let k = self.fan_in;
+        let blocks = self.fan_out / 4 * 4;
+        for r in 0..rows {
+            let qx = &scratch.q[r * k..(r + 1) * k];
+            let (sx, sum_qx) = (scratch.sx[r], scratch.sum[r]);
+            let out_row = &mut out.data[r * self.fan_out..(r + 1) * self.fan_out];
+            let mut n = 0;
+            while n < blocks {
+                let w = [
+                    &self.q[n * k..(n + 1) * k],
+                    &self.q[(n + 1) * k..(n + 2) * k],
+                    &self.q[(n + 2) * k..(n + 3) * k],
+                    &self.q[(n + 3) * k..(n + 4) * k],
+                ];
+                let dots = dot4_i8_i32(qx, w);
+                for (j, &dot) in dots.iter().enumerate() {
+                    let acc = dot - self.zero[n + j] * sum_qx;
+                    out_row[n + j] += sx * self.scale[n + j] * acc as f32;
+                }
+                n += 4;
+            }
+            for (n, o) in out_row.iter_mut().enumerate().skip(blocks) {
+                let w_row = &self.q[n * k..(n + 1) * k];
+                let acc = dot_i8_i32(qx, w_row) - self.zero[n] * sum_qx;
+                *o += sx * self.scale[n] * acc as f32;
+            }
+        }
+        grew
+    }
+
     /// Round-trips the quantized weights back to f32 (`fan_in × fan_out`,
     /// the [`crate::Dense`] layout) — used by tests to bound the
     /// representation error directly.
@@ -153,20 +212,95 @@ impl QuantLinear {
     }
 }
 
+/// Reusable scratch for the batched quantized forward: the int8 snapshot
+/// of a whole activation batch plus the per-row dequantization terms. One
+/// per scoring workspace; buffers grow to the high-water batch shape and
+/// then stay put.
+#[derive(Debug, Default, Clone)]
+pub struct QuantScratch {
+    /// Quantized batch, `rows × width` row-major.
+    q: Vec<i8>,
+    /// Per-row dynamic scale (`s_x`).
+    sx: Vec<f32>,
+    /// Per-row `Σ q_x[k]`, shared by every output row's dequantization.
+    sum: Vec<i32>,
+}
+
+impl QuantScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        QuantScratch::default()
+    }
+
+    /// Quantizes every row of `x` into the scratch (symmetric dynamic,
+    /// same grid as [`quantize_input`]). Returns `true` when any buffer
+    /// had to grow its allocation.
+    fn load(&mut self, x: &Matrix) -> bool {
+        let (rows, width) = (x.rows(), x.cols());
+        let grew = self.q.capacity() < rows * width || self.sx.capacity() < rows;
+        self.q.clear();
+        self.sx.clear();
+        self.sum.clear();
+        self.q.reserve(rows * width);
+        self.sx.reserve(rows);
+        self.sum.reserve(rows);
+        for r in 0..rows {
+            let before = self.q.len();
+            let sx = quantize_row_append(x.row_slice(r), &mut self.q);
+            let sum = self.q[before..].iter().map(|&v| i32::from(v)).sum();
+            self.sx.push(sx);
+            self.sum.push(sum);
+        }
+        grew
+    }
+}
+
+/// Appends the symmetric dynamic quantization of one activation row to
+/// `qx` and returns its scale — the batch-path sibling of
+/// [`quantize_input`], sharing the exact same grid.
+fn quantize_row_append(x: &[f32], qx: &mut Vec<i8>) -> f32 {
+    // Lane-wise max so the reduction vectorizes: a plain `fold(max)` is a
+    // loop-carried scalar chain (f32 max is not reassociated by the
+    // compiler), and it was a measurable share of the quantize cost.
+    const LANES: usize = 8;
+    let mut lanes = [0.0f32; LANES];
+    let mut chunks = x.chunks_exact(LANES);
+    for c in chunks.by_ref() {
+        for l in 0..LANES {
+            lanes[l] = lanes[l].max(c[l].abs());
+        }
+    }
+    let mut max_abs = lanes.iter().fold(0.0f32, |m, &v| m.max(v));
+    for &v in chunks.remainder() {
+        max_abs = max_abs.max(v.abs());
+    }
+    let start = qx.len();
+    qx.resize(start + x.len(), 0);
+    if max_abs == 0.0 {
+        return 1.0;
+    }
+    let s = max_abs / QMAX;
+    let inv = QMAX / max_abs;
+    // Round to nearest (ties to even) via the classic magic-bias trick:
+    // adding 1.5·2²³ pushes the clamped value into the mantissa range
+    // where f32 addition itself performs the rounding, and the integer
+    // sits in the low mantissa bits as an offset-0x400000 value. Both
+    // `f32::round` and the saturating `as i32` cast keep this loop scalar
+    // (measured ~8× slower); this shape is one vector add plus bit ops.
+    const MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23
+    for (q, &v) in qx[start..].iter_mut().zip(x) {
+        let biased = (v * inv).clamp(-QMAX, QMAX) + MAGIC;
+        *q = ((biased.to_bits() as i32 & 0x7F_FFFF) - 0x40_0000) as i8;
+    }
+    s
+}
+
 /// Symmetric dynamic quantization of one activation row into `qx`
 /// (resized in place, no allocation once grown). Returns the scale `s_x`
 /// with `x[k] ≈ s_x · qx[k]`.
 fn quantize_input(x: &[f32], qx: &mut Vec<i8>) -> f32 {
     qx.clear();
-    let max_abs = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
-    if max_abs == 0.0 {
-        qx.resize(x.len(), 0);
-        return 1.0;
-    }
-    let s = max_abs / QMAX;
-    let inv = QMAX / max_abs;
-    qx.extend(x.iter().map(|&v| (v * inv).round().clamp(-QMAX, QMAX) as i8));
-    s
+    quantize_row_append(x, qx)
 }
 
 #[cfg(test)]
@@ -245,6 +379,41 @@ mod tests {
         let mut out = vec![9.0f32; 2];
         q.forward_row(&[0.0; 5], &mut qx, &mut out, false);
         assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn forward_batch_is_bit_identical_to_forward_row() {
+        // 66 fan-in exercises the dot tails; 50 fan-out exercises the
+        // 4-row block tail. Batched and per-row paths share the exact
+        // same integer dots and float expression, so results must match
+        // to the bit, accumulate mode included.
+        let w = random_matrix(66, 50, 17);
+        let q = QuantLinear::from_weights(&w);
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut x = Matrix::zeros(7, 66);
+        for v in x.data.iter_mut() {
+            *v = rng.gen_range(-2.0..2.0);
+        }
+        let mut qx = Vec::new();
+        let mut want = Matrix::zeros(7, 50);
+        for r in 0..7 {
+            let row = &mut want.data[r * 50..(r + 1) * 50];
+            row.fill(0.25);
+            q.forward_row(x.row_slice(r), &mut qx, row, true);
+        }
+        let mut scratch = QuantScratch::new();
+        let mut got = Matrix::zeros(7, 50);
+        got.data_mut().fill(0.25);
+        let grew = q.forward_batch(&x, &mut scratch, &mut got, true);
+        assert!(grew, "first call must grow the scratch");
+        assert_eq!(got.data, want.data);
+        // Overwrite mode and steady-state (no further growth).
+        assert!(!q.forward_batch(&x, &mut scratch, &mut got, false));
+        for r in 0..7 {
+            let mut row = vec![0.0f32; 50];
+            q.forward_row(x.row_slice(r), &mut qx, &mut row, false);
+            assert_eq!(&got.data[r * 50..(r + 1) * 50], &row[..]);
+        }
     }
 
     #[test]

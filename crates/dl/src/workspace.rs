@@ -8,6 +8,7 @@
 //! The workspace counts buffer growth events, which is how the tests prove
 //! the steady state really is allocation-free.
 
+use crate::quant::QuantScratch;
 use crate::tensor::Matrix;
 
 /// Scratch buffers shared by the inference hot paths.
@@ -29,8 +30,9 @@ pub struct Workspace {
     pub(crate) h: Matrix,
     /// LSTM cell state.
     pub(crate) c: Matrix,
-    /// Int8 input-quantization scratch for the quantized inference path.
-    pub(crate) qx: Vec<i8>,
+    /// Int8 input-quantization scratch for the quantized inference path
+    /// (whole-batch snapshot plus per-row dequantization terms).
+    pub(crate) qx: QuantScratch,
     grows: usize,
 }
 
@@ -55,17 +57,6 @@ impl Workspace {
         self.grows += usize::from(grew);
     }
 
-    /// Ensures the int8 scratch can hold `len` lanes, counting growth. The
-    /// quantized paths call this once per scoring call with the widest
-    /// layer fan-in, so the per-layer quantization never allocates.
-    #[inline]
-    pub(crate) fn reserve_qx(&mut self, len: usize) {
-        if self.qx.capacity() < len {
-            self.qx.clear();
-            self.qx.reserve(len);
-            self.grows += 1;
-        }
-    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 
 use crate::e2ap::{E2apPdu, RicRequestId};
 use crate::e2sm::{KpmIndication, RAN_FUNCTION_MOBIFLOW};
-use crate::transport::E2Transport;
+use crate::transport::{E2Transport, SendOutcome};
 use std::collections::BTreeMap;
 use xsec_mobiflow::UeMobiFlow;
 use xsec_obs::{Counter, FlightEvent, FlightRecorder, FlightRing, Obs, TraceStage};
@@ -38,6 +38,7 @@ struct AgentMetrics {
     records_pushed: Counter,
     indications_sent: Counter,
     controls_received: Counter,
+    egress_dropped: Counter,
 }
 
 impl AgentMetrics {
@@ -46,6 +47,7 @@ impl AgentMetrics {
             records_pushed: obs.counter("xsec_e2_records_pushed_total", &[]),
             indications_sent: obs.counter("xsec_e2_indications_sent_total", &[]),
             controls_received: obs.counter("xsec_e2_controls_received_total", &[]),
+            egress_dropped: obs.counter("xsec_e2_egress_dropped_total", &[]),
         }
     }
 }
@@ -97,6 +99,7 @@ impl<T: E2Transport> RicAgent<T> {
         metrics.records_pushed.add(self.metrics.records_pushed.get());
         metrics.indications_sent.add(self.metrics.indications_sent.get());
         metrics.controls_received.add(self.metrics.controls_received.get());
+        metrics.egress_dropped.add(self.metrics.egress_dropped.get());
         self.metrics = metrics;
         self.recorder = obs.recorder.clone();
         self.ring = self.recorder.ring();
@@ -105,6 +108,20 @@ impl<T: E2Transport> RicAgent<T> {
     /// Whether the RIC accepted our function.
     pub fn is_setup(&self) -> bool {
         self.setup_complete
+    }
+
+    /// Frames this agent dropped on a full egress queue (also counted in
+    /// `xsec_e2_egress_dropped_total`).
+    pub fn egress_dropped(&self) -> u64 {
+        self.transport.dropped_frames()
+    }
+
+    /// Sends one frame, counting (never blocking on) an egress drop.
+    fn send_counted(&mut self, frame: &[u8]) -> Result<()> {
+        if self.transport.send(frame)? == SendOutcome::Dropped {
+            self.metrics.egress_dropped.inc();
+        }
+        Ok(())
     }
 
     /// Number of active subscriptions.
@@ -175,8 +192,7 @@ impl<T: E2Transport> RicAgent<T> {
                         },
                     );
                 }
-                self.transport
-                    .send(&E2apPdu::SubscriptionResponse { request_id, accepted }.encode())
+                self.send_counted(&E2apPdu::SubscriptionResponse { request_id, accepted }.encode())
             }
             E2apPdu::SubscriptionDeleteRequest { request_id } => {
                 self.subscriptions.remove(&request_id);
@@ -188,7 +204,7 @@ impl<T: E2Transport> RicAgent<T> {
                     self.metrics.controls_received.inc();
                     self.control_inbox.push(payload);
                 }
-                self.transport.send(&E2apPdu::ControlAck { ran_function, success }.encode())
+                self.send_counted(&E2apPdu::ControlAck { ran_function, success }.encode())
             }
             // PDUs that only the RIC side should receive are protocol noise.
             other => Err(XsecError::Ric(format!("unexpected PDU at agent: {other:?}"))),
@@ -226,7 +242,7 @@ impl<T: E2Transport> RicAgent<T> {
         }
         for frame in outgoing {
             self.metrics.indications_sent.inc();
-            self.transport.send(&frame)?;
+            self.send_counted(&frame)?;
         }
         Ok(())
     }

@@ -38,4 +38,7 @@ pub mod transport;
 pub use agent::{RicAgent, RicAgentConfig};
 pub use e2ap::{E2apPdu, RicAction, RicRequestId};
 pub use e2sm::{KpmIndication, RAN_FUNCTION_MOBIFLOW};
-pub use transport::{in_proc_pair, E2Transport, InProcTransport, TcpTransport};
+pub use transport::{
+    in_proc_pair, E2Transport, InProcTransport, Readiness, SendOutcome, TcpTransport, WakeSet,
+    Waker,
+};

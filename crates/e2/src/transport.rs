@@ -10,43 +10,232 @@
 //!   processes (the `live_ric_pipeline` example exercises it over
 //!   loopback).
 //!
-//! Both are synchronous with non-blocking `try_recv` semantics — the RIC
-//! platform drives them from its own polling loop.
+//! ## Readiness model
+//!
+//! The RIC terminates hundreds of agents from one thread, so a pump
+//! iteration must touch only connections with pending frames. Each
+//! transport registers a [`Waker`] via [`E2Transport::register_waker`] and
+//! answers with its [`Readiness`]:
+//!
+//! * [`Readiness::Event`] — the transport wakes the reactor itself when a
+//!   frame lands. `InProcTransport` does this from the *sender's* side: a
+//!   successful `send` flips the peer's wake flag, enqueueing its token on
+//!   the reactor's [`WakeSet`] ready-queue. Cost per pump is O(active).
+//! * [`Readiness::Polled`] — the transport cannot signal (a plain
+//!   nonblocking socket without an OS readiness queue), so the reactor
+//!   scans it every iteration. `TcpTransport` lives here; deployments mix
+//!   a handful of polled sockets with thousands of event-driven in-proc
+//!   conns without losing the O(active) pump.
+//!
+//! ## Egress backpressure
+//!
+//! `send` never blocks. Every transport owns a bounded egress queue (the
+//! channel itself for in-proc, a byte buffer for TCP); when it is full the
+//! frame is *dropped and counted* ([`SendOutcome::Dropped`],
+//! [`E2Transport::dropped_frames`]) instead of stalling the reactor — a
+//! slow or stalled peer can never wedge the RIC. [`E2Transport::flush`]
+//! retries buffered egress and reports whether the queue drained.
 
-use crossbeam_channel::{bounded, Receiver, Sender, TryRecvError};
+use crossbeam_channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration as StdDuration;
+use std::sync::{Arc, Mutex};
 use xsec_proto::codec::{FrameReader, FrameWriter};
 use xsec_types::{Result, XsecError};
 
+/// How a transport participates in the reactor's readiness protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Readiness {
+    /// The transport wakes its registered [`Waker`] when frames arrive;
+    /// the reactor only visits it after a wake.
+    Event,
+    /// The transport cannot signal readiness; the reactor must scan it
+    /// every pump iteration.
+    Polled,
+}
+
+/// What happened to a frame handed to [`E2Transport::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Queued on (or written to) the wire.
+    Sent,
+    /// The bounded egress queue was full; the frame was dropped and
+    /// counted. The connection stays healthy.
+    Dropped,
+}
+
+/// Shared ready-queue state: one wake flag per token plus the FIFO of
+/// tokens woken since the last drain.
+#[derive(Debug, Default)]
+struct WakeState {
+    flags: Vec<bool>,
+    ready: VecDeque<usize>,
+}
+
+/// The reactor's ready-queue: tokens (connection indices) whose transports
+/// have signalled pending frames. Shared with transports through [`Waker`]
+/// handles; drained once per pump iteration.
+#[derive(Debug, Default, Clone)]
+pub struct WakeSet {
+    state: Arc<Mutex<WakeState>>,
+}
+
+impl WakeSet {
+    /// An empty ready-queue.
+    pub fn new() -> Self {
+        WakeSet::default()
+    }
+
+    /// Creates the waker for `token`, growing the flag table as needed.
+    pub fn waker(&self, token: usize) -> Waker {
+        let mut state = self.state.lock().expect("wake set poisoned");
+        if state.flags.len() <= token {
+            state.flags.resize(token + 1, false);
+        }
+        Waker { state: Arc::clone(&self.state), token }
+    }
+
+    /// Drains every woken token into `out` (appended in wake order) and
+    /// clears their flags, so a send racing the drain re-queues the token
+    /// for the next iteration rather than being lost.
+    pub fn drain_into(&self, out: &mut Vec<usize>) {
+        let mut state = self.state.lock().expect("wake set poisoned");
+        while let Some(token) = state.ready.pop_front() {
+            state.flags[token] = false;
+            out.push(token);
+        }
+    }
+
+    /// Marks `token` ready directly (used by the reactor itself, e.g. for
+    /// a freshly added connection whose hello may predate registration).
+    pub fn mark_ready(&self, token: usize) {
+        self.waker(token).wake();
+    }
+}
+
+/// Handle a transport uses to tell the reactor "this connection has
+/// pending frames". Waking an already-woken token is a no-op, so wake
+/// storms coalesce into one pump visit.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    state: Arc<Mutex<WakeState>>,
+    token: usize,
+}
+
+impl Waker {
+    /// Enqueues this waker's token on the ready-queue (idempotent until
+    /// the next drain).
+    pub fn wake(&self) {
+        let mut state = self.state.lock().expect("wake set poisoned");
+        if state.flags.len() <= self.token {
+            state.flags.resize(self.token + 1, false);
+        }
+        if !state.flags[self.token] {
+            state.flags[self.token] = true;
+            state.ready.push_back(self.token);
+        }
+    }
+}
+
 /// A bidirectional, message-oriented E2 byte pipe.
 pub trait E2Transport: Send {
-    /// Sends one message (a full E2AP PDU).
-    fn send(&mut self, frame: &[u8]) -> Result<()>;
+    /// Sends one message (a full E2AP PDU) without blocking. A full egress
+    /// queue drops the frame ([`SendOutcome::Dropped`]) and counts it in
+    /// [`E2Transport::dropped_frames`]; `Err` is reserved for a dead peer.
+    fn send(&mut self, frame: &[u8]) -> Result<SendOutcome>;
 
     /// Receives the next complete message if one is available.
     fn try_recv(&mut self) -> Result<Option<Vec<u8>>>;
+
+    /// Registers the reactor's waker for this connection and reports how
+    /// the transport will use it. Transports that already hold queued
+    /// inbound frames must wake immediately so no pre-registration frame
+    /// is stranded. The default is a polled transport that ignores the
+    /// waker.
+    fn register_waker(&mut self, _waker: Waker) -> Readiness {
+        Readiness::Polled
+    }
+
+    /// Retries any buffered egress; `Ok(true)` when the egress queue is
+    /// empty (nothing left to flush).
+    fn flush(&mut self) -> Result<bool> {
+        Ok(true)
+    }
+
+    /// Frames dropped so far because the egress queue was full.
+    fn dropped_frames(&self) -> u64 {
+        0
+    }
+}
+
+/// One direction of the in-proc pipe: the channel plus the wake slot its
+/// *receiver* registers, flipped by the sender on delivery.
+#[derive(Debug, Default)]
+struct WakeSlot {
+    waker: Mutex<Option<Waker>>,
+}
+
+impl WakeSlot {
+    fn wake(&self) {
+        if let Some(waker) = self.waker.lock().expect("wake slot poisoned").as_ref() {
+            waker.wake();
+        }
+    }
 }
 
 /// In-process transport endpoint.
 pub struct InProcTransport {
     tx: Sender<Vec<u8>>,
     rx: Receiver<Vec<u8>>,
+    /// Wake slot our peer's owner registered — we flip it when we send.
+    peer_wake: Arc<WakeSlot>,
+    /// Wake slot our own owner registers — our peer flips it.
+    local_wake: Arc<WakeSlot>,
+    dropped: u64,
 }
 
 /// Creates a connected in-process transport pair (agent end, RIC end).
+/// Each side's egress is the bounded channel itself (4096 frames); a full
+/// channel drops instead of blocking.
 pub fn in_proc_pair() -> (InProcTransport, InProcTransport) {
     let (a_tx, a_rx) = bounded(4096);
     let (b_tx, b_rx) = bounded(4096);
-    (InProcTransport { tx: a_tx, rx: b_rx }, InProcTransport { tx: b_tx, rx: a_rx })
+    let wake_a = Arc::new(WakeSlot::default());
+    let wake_b = Arc::new(WakeSlot::default());
+    (
+        InProcTransport {
+            tx: a_tx,
+            rx: b_rx,
+            peer_wake: Arc::clone(&wake_b),
+            local_wake: Arc::clone(&wake_a),
+            dropped: 0,
+        },
+        InProcTransport {
+            tx: b_tx,
+            rx: a_rx,
+            peer_wake: wake_a,
+            local_wake: wake_b,
+            dropped: 0,
+        },
+    )
 }
 
 impl E2Transport for InProcTransport {
-    fn send(&mut self, frame: &[u8]) -> Result<()> {
-        self.tx
-            .send(frame.to_vec())
-            .map_err(|_| XsecError::Io("in-proc peer disconnected".into()))
+    fn send(&mut self, frame: &[u8]) -> Result<SendOutcome> {
+        match self.tx.try_send(frame.to_vec()) {
+            Ok(()) => {
+                self.peer_wake.wake();
+                Ok(SendOutcome::Sent)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.dropped += 1;
+                Ok(SendOutcome::Dropped)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                Err(XsecError::Io("in-proc peer disconnected".into()))
+            }
+        }
     }
 
     fn try_recv(&mut self) -> Result<Option<Vec<u8>>> {
@@ -58,24 +247,57 @@ impl E2Transport for InProcTransport {
             }
         }
     }
+
+    fn register_waker(&mut self, waker: Waker) -> Readiness {
+        // Frames sent before registration (the agent's Setup Request fires
+        // from its constructor) must still surface: wake immediately if
+        // anything is already queued.
+        let pending = !self.rx.is_empty();
+        *self.local_wake.waker.lock().expect("wake slot poisoned") = Some(waker.clone());
+        if pending {
+            waker.wake();
+        }
+        Readiness::Event
+    }
+
+    fn dropped_frames(&self) -> u64 {
+        self.dropped
+    }
 }
 
-/// TCP transport endpoint with length-prefix framing.
+/// Default cap on buffered TCP egress bytes before frames are dropped.
+const TCP_EGRESS_CAP: usize = 1 << 20;
+
+/// TCP transport endpoint with length-prefix framing, fully nonblocking in
+/// both directions: reads surface `WouldBlock` as "no frame yet", writes
+/// land in a bounded egress buffer flushed opportunistically, so a stalled
+/// peer can never block the reactor.
 pub struct TcpTransport {
     stream: TcpStream,
     reader: FrameReader,
     read_buf: Vec<u8>,
+    /// Framed bytes awaiting the socket; `egress_pos` marks the written
+    /// prefix still pending removal.
+    egress: Vec<u8>,
+    egress_pos: usize,
+    egress_cap: usize,
+    dropped: u64,
 }
 
 impl TcpTransport {
-    /// Wraps a connected stream. The stream is switched to a short read
-    /// timeout so `try_recv` stays effectively non-blocking.
+    /// Wraps a connected stream, switching it to nonblocking mode.
     pub fn new(stream: TcpStream) -> Result<Self> {
-        stream
-            .set_read_timeout(Some(StdDuration::from_millis(1)))
-            .map_err(|e| XsecError::Io(e.to_string()))?;
+        stream.set_nonblocking(true).map_err(|e| XsecError::Io(e.to_string()))?;
         stream.set_nodelay(true).map_err(|e| XsecError::Io(e.to_string()))?;
-        Ok(TcpTransport { stream, reader: FrameReader::new(), read_buf: vec![0u8; 64 * 1024] })
+        Ok(TcpTransport {
+            stream,
+            reader: FrameReader::new(),
+            read_buf: vec![0u8; 64 * 1024],
+            egress: Vec::new(),
+            egress_pos: 0,
+            egress_cap: TCP_EGRESS_CAP,
+            dropped: 0,
+        })
     }
 
     /// Connects to a listening E2 termination.
@@ -83,16 +305,67 @@ impl TcpTransport {
         let stream = TcpStream::connect(addr).map_err(|e| XsecError::Io(e.to_string()))?;
         Self::new(stream)
     }
+
+    /// Overrides the egress buffer cap (bytes); frames that would exceed
+    /// it are dropped whole.
+    pub fn set_egress_cap(&mut self, bytes: usize) {
+        self.egress_cap = bytes;
+    }
+
+    /// Bytes currently buffered for the socket.
+    pub fn egress_len(&self) -> usize {
+        self.egress.len() - self.egress_pos
+    }
+
+    /// Writes as much buffered egress as the socket accepts right now.
+    fn flush_egress(&mut self) -> Result<bool> {
+        while self.egress_pos < self.egress.len() {
+            match self.stream.write(&self.egress[self.egress_pos..]) {
+                Ok(0) => return Err(XsecError::Io("connection closed".into())),
+                Ok(n) => self.egress_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(XsecError::Io(e.to_string())),
+            }
+        }
+        if self.egress_pos == self.egress.len() {
+            self.egress.clear();
+            self.egress_pos = 0;
+            Ok(true)
+        } else {
+            // Reclaim the written prefix so the buffer stays bounded by
+            // the unsent bytes, not the lifetime total.
+            if self.egress_pos > 0 {
+                self.egress.drain(..self.egress_pos);
+                self.egress_pos = 0;
+            }
+            Ok(false)
+        }
+    }
 }
 
 impl E2Transport for TcpTransport {
-    fn send(&mut self, frame: &[u8]) -> Result<()> {
+    fn send(&mut self, frame: &[u8]) -> Result<SendOutcome> {
         let mut writer = FrameWriter::new();
         writer.write_frame(frame)?;
-        self.stream.write_all(&writer.take()).map_err(|e| XsecError::Io(e.to_string()))
+        let framed = writer.take();
+        if self.egress_len() + framed.len() > self.egress_cap {
+            // Try to make room first — the socket may have drained.
+            self.flush_egress()?;
+            if self.egress_len() + framed.len() > self.egress_cap {
+                self.dropped += 1;
+                return Ok(SendOutcome::Dropped);
+            }
+        }
+        self.egress.extend_from_slice(&framed);
+        self.flush_egress()?;
+        Ok(SendOutcome::Sent)
     }
 
     fn try_recv(&mut self) -> Result<Option<Vec<u8>>> {
+        // Piggyback egress progress on every poll so buffered writes drain
+        // even when the caller only reads.
+        self.flush_egress()?;
         // Drain one buffered frame first.
         if let Some(frame) = self.reader.next_frame()? {
             return Ok(Some(frame));
@@ -109,8 +382,17 @@ impl E2Transport for TcpTransport {
             {
                 Ok(None)
             }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Ok(None),
             Err(e) => Err(XsecError::Io(e.to_string())),
         }
+    }
+
+    fn flush(&mut self) -> Result<bool> {
+        self.flush_egress()
+    }
+
+    fn dropped_frames(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -118,12 +400,13 @@ impl E2Transport for TcpTransport {
 mod tests {
     use super::*;
     use std::net::TcpListener;
+    use std::time::Duration as StdDuration;
 
     #[test]
     fn in_proc_round_trip_both_directions() {
         let (mut a, mut b) = in_proc_pair();
-        a.send(b"hello").unwrap();
-        a.send(b"world").unwrap();
+        assert_eq!(a.send(b"hello").unwrap(), SendOutcome::Sent);
+        assert_eq!(a.send(b"world").unwrap(), SendOutcome::Sent);
         assert_eq!(b.try_recv().unwrap(), Some(b"hello".to_vec()));
         assert_eq!(b.try_recv().unwrap(), Some(b"world".to_vec()));
         assert_eq!(b.try_recv().unwrap(), None);
@@ -136,6 +419,52 @@ mod tests {
         let (mut a, b) = in_proc_pair();
         drop(b);
         assert!(a.send(b"x").is_err());
+    }
+
+    #[test]
+    fn in_proc_send_wakes_the_registered_peer() {
+        let (mut a, mut b) = in_proc_pair();
+        let set = WakeSet::new();
+        assert_eq!(b.register_waker(set.waker(7)), Readiness::Event);
+        let mut ready = Vec::new();
+        set.drain_into(&mut ready);
+        assert!(ready.is_empty(), "no wake before any send");
+
+        a.send(b"x").unwrap();
+        a.send(b"y").unwrap();
+        set.drain_into(&mut ready);
+        // Two sends coalesce into one wake until the queue is drained.
+        assert_eq!(ready, vec![7]);
+
+        // After a drain the flag is clear: the next send wakes again.
+        ready.clear();
+        a.send(b"z").unwrap();
+        set.drain_into(&mut ready);
+        assert_eq!(ready, vec![7]);
+    }
+
+    #[test]
+    fn in_proc_registration_after_send_wakes_immediately() {
+        // The agent's Setup Request is sent from its constructor, before
+        // the platform registers the conn — the frame must still wake.
+        let (mut a, mut b) = in_proc_pair();
+        a.send(b"setup").unwrap();
+        let set = WakeSet::new();
+        b.register_waker(set.waker(0));
+        let mut ready = Vec::new();
+        set.drain_into(&mut ready);
+        assert_eq!(ready, vec![0]);
+    }
+
+    #[test]
+    fn in_proc_full_channel_drops_and_counts() {
+        let (mut a, _b) = in_proc_pair();
+        let mut outcomes = Vec::new();
+        for _ in 0..4100 {
+            outcomes.push(a.send(b"f").unwrap());
+        }
+        assert_eq!(outcomes.iter().filter(|o| **o == SendOutcome::Dropped).count(), 4);
+        assert_eq!(a.dropped_frames(), 4);
     }
 
     #[test]
@@ -153,12 +482,13 @@ mod tests {
                     echoed += 1;
                 }
             }
+            while !server.flush().unwrap() {}
         });
 
         let mut client = TcpTransport::connect(&addr.to_string()).unwrap();
         let frames: Vec<Vec<u8>> = vec![vec![], vec![7; 5], vec![1, 2, 3]];
         for f in &frames {
-            client.send(f).unwrap();
+            assert_eq!(client.send(f).unwrap(), SendOutcome::Sent);
         }
         let mut received = Vec::new();
         while received.len() < 3 {
@@ -180,6 +510,76 @@ mod tests {
         });
         let mut client = TcpTransport::connect(&addr.to_string()).unwrap();
         assert_eq!(client.try_recv().unwrap(), None);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_stalled_reader_never_blocks_the_sender() {
+        // Regression: a peer that accepts the connection but never reads
+        // must not block `send` — the kernel buffer fills, egress buffers
+        // up to the cap, and further frames drop with a count.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            // Hold the socket open without reading until told to stop.
+            let _ = stop_rx.recv();
+            drop(stream);
+        });
+
+        let mut client = TcpTransport::connect(&addr.to_string()).unwrap();
+        client.set_egress_cap(64 * 1024);
+        let frame = vec![0xABu8; 8 * 1024];
+        let mut dropped = 0u64;
+        // Push far more than the egress cap + kernel buffer can hold; every
+        // call must return promptly (drop, not block).
+        let start = std::time::Instant::now();
+        for _ in 0..2000 {
+            if client.send(&frame).unwrap() == SendOutcome::Dropped {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0, "egress never filled — cap not enforced");
+        assert_eq!(client.dropped_frames(), dropped);
+        assert!(client.egress_len() <= 64 * 1024, "egress exceeded its cap");
+        assert!(
+            start.elapsed() < StdDuration::from_secs(10),
+            "sender blocked on a stalled reader"
+        );
+        stop_tx.send(()).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_partial_frames_reassemble_across_reads() {
+        // A frame trickling in over many small writes must reassemble; a
+        // frame split across the egress boundary must arrive intact.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let expect = payload.clone();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut writer = FrameWriter::new();
+            writer.write_frame(&payload).unwrap();
+            let framed = writer.take();
+            // Dribble the frame out in 7-byte slices.
+            for chunk in framed.chunks(7) {
+                stream.write_all(chunk).unwrap();
+                stream.flush().unwrap();
+            }
+        });
+        let mut client = TcpTransport::connect(&addr.to_string()).unwrap();
+        let deadline = std::time::Instant::now() + StdDuration::from_secs(10);
+        loop {
+            if let Some(frame) = client.try_recv().unwrap() {
+                assert_eq!(frame, expect);
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "frame never reassembled");
+            std::thread::yield_now();
+        }
         handle.join().unwrap();
     }
 }

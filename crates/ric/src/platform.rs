@@ -1,18 +1,32 @@
 //! The platform: E2 termination + subscription management + xApp hosting.
 //!
-//! Single-threaded and pump-driven: each [`RicPlatform::pump`] call drains
-//! every agent transport, completes E2 handshakes, persists arriving
-//! telemetry to the SDL, dispatches it to subscribed xApps (timing each
-//! handler against the near-RT budget), relays topic messages between
-//! xApps, and ships queued control actions back to the RAN.
+//! Single-threaded and pump-driven, but *readiness-driven* rather than a
+//! round-robin scan: every transport registers a [`xsec_e2::Waker`] on a
+//! shared ready-queue ([`xsec_e2::WakeSet`]) when it is attached, and each
+//! [`RicPlatform::pump`] call visits only the connections that signalled
+//! pending frames since the last iteration (plus the small set of polled
+//! transports that cannot signal, e.g. plain nonblocking TCP sockets). Per
+//! pump, cost is O(active connections), not O(connections) — the property
+//! that lets one platform terminate hundreds of mostly-idle gNB agents.
+//!
+//! A pump iteration drains the ready connections, completes E2 handshakes,
+//! persists arriving telemetry to the SDL, dispatches it to subscribed
+//! xApps (timing each handler against the near-RT budget), relays topic
+//! messages between xApps, and ships queued control actions back to the
+//! RAN. All sends are non-blocking: each transport owns a bounded egress
+//! queue and a full queue drops the frame with a count
+//! (`xsec_ric_egress_dropped_total`) instead of stalling the reactor.
 
 use crate::latency::LatencyTracker;
 use crate::router::Router;
 use crate::xapp::{ControlOut, XApp, XAppContext};
 use crossbeam_channel::Receiver;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
-use xsec_e2::{E2apPdu, E2Transport, KpmIndication, RicRequestId, RAN_FUNCTION_MOBIFLOW};
+use xsec_e2::{
+    E2apPdu, E2Transport, KpmIndication, Readiness, RicRequestId, SendOutcome, WakeSet,
+    RAN_FUNCTION_MOBIFLOW,
+};
 use xsec_mobiflow::SharedDataLayer;
 use xsec_obs::{Counter, Histogram, Obs};
 use xsec_types::{CellId, GnbId, Result, XsecError};
@@ -51,8 +65,9 @@ impl SubscriptionSpec {
 struct XAppEntry {
     app: Box<dyn XApp>,
     request_id: Option<RicRequestId>,
-    /// The subscription request went out (sent exactly once per app).
-    subscription_sent: bool,
+    /// Per-connection "subscription request went out" flags, indexed by
+    /// conn token (every telemetry xApp subscribes on every agent).
+    subscribed: Vec<bool>,
     spec: SubscriptionSpec,
     mailboxes: Vec<(String, Receiver<Vec<u8>>)>,
     /// Handler latency, labelled `xapp="<name>"`.
@@ -76,6 +91,9 @@ struct AgentConn {
     inflight_controls: VecDeque<(Instant, Option<u64>)>,
     /// Send→ack latency, labelled `agent="gnb-<id>"` (set at setup).
     ack_latency: Option<Histogram>,
+    /// This conn has buffered egress awaiting a flush retry (dedup flag
+    /// for the `egress_pending` list).
+    egress_pending: bool,
 }
 
 /// Counters from one pump iteration (a per-call delta). Cumulative totals
@@ -90,6 +108,9 @@ pub struct PumpStats {
     pub messages_delivered: u64,
     /// Control actions shipped to the RAN.
     pub controls_sent: u64,
+    /// Connections visited this iteration (woken + polled). The reactor
+    /// guarantee is that this tracks *active* conns, not total conns.
+    pub conns_scanned: u64,
 }
 
 /// Registry-backed platform counters (the single observability path for
@@ -105,6 +126,12 @@ struct PlatformMetrics {
     /// Actions pinned to a cell no connected agent serves (shipped to the
     /// first agent as a fallback).
     controls_unroutable: Counter,
+    /// Extra Control Request copies fanned out to neighbour-cell agents.
+    controls_broadcast: Counter,
+    /// Frames dropped RIC-side on a full egress queue (never blocks).
+    egress_dropped: Counter,
+    /// Connections visited across all pumps (O(active) when event-driven).
+    conns_scanned: Counter,
     decode_latency: Histogram,
 }
 
@@ -119,6 +146,9 @@ impl PlatformMetrics {
             controls_acked: obs.counter("xsec_ric_controls_acked_total", &[]),
             controls_failed: obs.counter("xsec_ric_controls_failed_total", &[]),
             controls_unroutable: obs.counter("xsec_ric_controls_unroutable_total", &[]),
+            controls_broadcast: obs.counter("xsec_ric_controls_broadcast_total", &[]),
+            egress_dropped: obs.counter("xsec_ric_egress_dropped_total", &[]),
+            conns_scanned: obs.counter("xsec_ric_pump_conns_scanned_total", &[]),
             decode_latency: obs.histogram("xsec_e2_decode_latency_us", &[]),
         }
     }
@@ -134,6 +164,19 @@ pub struct RicPlatform {
     latency: LatencyTracker,
     control_queue: Vec<ControlOut>,
     control_latency: LatencyTracker,
+    /// The reactor's ready-queue: transports wake their token here.
+    wake: WakeSet,
+    /// Tokens of transports that cannot signal readiness (scanned every
+    /// pump). Kept small: only real sockets land here.
+    polled: Vec<usize>,
+    /// Conn tokens with buffered egress awaiting a flush retry.
+    egress_pending: Vec<usize>,
+    /// Reusable scratch for draining the ready-queue.
+    ready_scratch: Vec<usize>,
+    /// A new xApp registered: (re-)issue subscriptions on the next pump.
+    subs_dirty: bool,
+    /// Cell adjacency for control fan-out (QuarantineCell broadcast).
+    neighbours: HashMap<CellId, Vec<CellId>>,
     obs: Obs,
     metrics: PlatformMetrics,
 }
@@ -162,6 +205,12 @@ impl RicPlatform {
             latency: LatencyTracker::new(),
             control_queue: Vec::new(),
             control_latency: LatencyTracker::new(),
+            wake: WakeSet::new(),
+            polled: Vec::new(),
+            egress_pending: Vec::new(),
+            ready_scratch: Vec::new(),
+            subs_dirty: false,
+            neighbours: HashMap::new(),
             obs,
             metrics,
         }
@@ -212,8 +261,36 @@ impl RicPlatform {
         self.metrics.controls_unroutable.get()
     }
 
-    /// Attaches a RAN agent connection (the RIC end of an E2 transport).
-    pub fn add_agent(&mut self, transport: Box<dyn E2Transport>) {
+    /// Extra Control Request copies fanned out to neighbour-cell agents.
+    pub fn controls_broadcast(&self) -> u64 {
+        self.metrics.controls_broadcast.get()
+    }
+
+    /// Frames dropped RIC-side on a full egress queue.
+    pub fn egress_dropped(&self) -> u64 {
+        self.metrics.egress_dropped.get()
+    }
+
+    /// Connected agents (any setup state).
+    pub fn agent_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Declares `cell`'s neighbours for control fan-out: a broadcast
+    /// control pinned to `cell` is also delivered to every agent serving
+    /// one of `neighbours`.
+    pub fn set_neighbours(&mut self, cell: CellId, neighbours: Vec<CellId>) {
+        self.neighbours.insert(cell, neighbours);
+    }
+
+    /// Attaches a RAN agent connection (the RIC end of an E2 transport),
+    /// registering it on the reactor's ready-queue.
+    pub fn add_agent(&mut self, mut transport: Box<dyn E2Transport>) {
+        let token = self.conns.len();
+        match transport.register_waker(self.wake.waker(token)) {
+            Readiness::Event => {}
+            Readiness::Polled => self.polled.push(token),
+        }
         self.conns.push(AgentConn {
             transport,
             setup_done: false,
@@ -221,11 +298,12 @@ impl RicPlatform {
             cells: Vec::new(),
             inflight_controls: VecDeque::new(),
             ack_latency: None,
+            egress_pending: false,
         });
     }
 
-    /// Registers an xApp. Its E2 subscription is negotiated on the next pump
-    /// after the agent completes setup.
+    /// Registers an xApp. Its E2 subscriptions (one per connected agent)
+    /// are negotiated on the next pump after each agent completes setup.
     pub fn register_xapp(&mut self, mut app: Box<dyn XApp>, spec: SubscriptionSpec) {
         let mailboxes = spec
             .topics
@@ -250,36 +328,89 @@ impl RicPlatform {
         self.xapps.push(XAppEntry {
             app,
             request_id,
-            subscription_sent: false,
+            subscribed: Vec::new(),
             spec,
             mailboxes,
             handler_latency,
         });
+        self.subs_dirty = true;
     }
 
-    /// One pump iteration: drain transports, dispatch, ship controls.
+    /// Sends one frame on conn `ci`, counting an egress drop and queueing
+    /// a flush retry when the transport buffered part of it. Never blocks.
+    fn send_on(&mut self, ci: usize, frame: &[u8]) -> Result<SendOutcome> {
+        let outcome = self.conns[ci].transport.send(frame)?;
+        if outcome == SendOutcome::Dropped {
+            self.metrics.egress_dropped.inc();
+        }
+        if !self.conns[ci].transport.flush()? && !self.conns[ci].egress_pending {
+            self.conns[ci].egress_pending = true;
+            self.egress_pending.push(ci);
+        }
+        Ok(outcome)
+    }
+
+    /// One pump iteration: drain ready transports, dispatch, ship controls.
     pub fn pump(&mut self) -> Result<PumpStats> {
         let mut stats = PumpStats::default();
 
-        // 1. Drain every agent connection.
-        for ci in 0..self.conns.len() {
+        // 0. Retry buffered egress from earlier iterations.
+        if !self.egress_pending.is_empty() {
+            let pending = std::mem::take(&mut self.egress_pending);
+            for ci in pending {
+                self.conns[ci].egress_pending = false;
+                if !self.conns[ci].transport.flush()? {
+                    self.conns[ci].egress_pending = true;
+                    self.egress_pending.push(ci);
+                }
+            }
+        }
+
+        // 1. Drain only the connections with (possibly) pending frames:
+        //    tokens woken since the last pump, plus the polled set.
+        let mut ready = std::mem::take(&mut self.ready_scratch);
+        ready.clear();
+        self.wake.drain_into(&mut ready);
+        ready.extend_from_slice(&self.polled);
+        for i in 0..ready.len() {
+            let ci = ready[i];
+            stats.conns_scanned += 1;
+            self.metrics.conns_scanned.inc();
             loop {
                 let frame = match self.conns[ci].transport.try_recv() {
                     Ok(Some(f)) => f,
                     Ok(None) => break,
-                    Err(e) => return Err(e),
+                    Err(e) => {
+                        self.ready_scratch = ready;
+                        return Err(e);
+                    }
                 };
                 stats.pdus += 1;
                 self.metrics.pdus.inc();
                 let decode_start = Instant::now();
-                let pdu = E2apPdu::decode(&frame)?;
+                let pdu = match E2apPdu::decode(&frame) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        self.ready_scratch = ready;
+                        return Err(e);
+                    }
+                };
                 self.metrics.decode_latency.observe_duration(decode_start.elapsed());
-                self.handle_pdu(ci, pdu, &mut stats)?;
+                if let Err(e) = self.handle_pdu(ci, pdu, &mut stats) {
+                    self.ready_scratch = ready;
+                    return Err(e);
+                }
             }
         }
+        self.ready_scratch = ready;
 
-        // 2. Issue pending subscriptions once setup completed.
-        self.issue_subscriptions()?;
+        // 2. A freshly registered xApp subscribes on every setup agent.
+        if self.subs_dirty {
+            self.subs_dirty = false;
+            for ci in 0..self.conns.len() {
+                self.issue_subscriptions_for(ci)?;
+            }
+        }
 
         // 3. Relay topic messages into xApps.
         for ai in 0..self.xapps.len() {
@@ -300,11 +431,13 @@ impl RicPlatform {
         //    its target cell. Actions with no (or an unknown) cell fall back
         //    to the first connected agent; unknown cells are counted as
         //    unroutable so misconfigurations show up in the metrics.
+        //    Broadcast actions additionally fan out to every agent serving
+        //    a declared neighbour of the target cell.
         if !self.control_queue.is_empty() {
             if let Some(fallback) = self.conns.iter().position(|c| c.setup_done) {
                 let queued = std::mem::take(&mut self.control_queue);
-                for ControlOut { cell, trace, payload } in queued {
-                    let ci = match cell {
+                for ControlOut { cell, trace, payload, broadcast } in queued {
+                    let owner = match cell {
                         Some(cell) => match self
                             .conns
                             .iter()
@@ -318,17 +451,42 @@ impl RicPlatform {
                         },
                         None => fallback,
                     };
-                    let conn = &mut self.conns[ci];
-                    conn.transport.send(
-                        &E2apPdu::ControlRequest {
-                            ran_function: RAN_FUNCTION_MOBIFLOW,
-                            payload,
+                    let mut targets = vec![owner];
+                    if broadcast {
+                        if let Some(neigh) = cell.and_then(|c| self.neighbours.get(&c)) {
+                            for ncell in neigh {
+                                if let Some(ci) = self
+                                    .conns
+                                    .iter()
+                                    .position(|c| c.setup_done && c.cells.contains(ncell))
+                                {
+                                    if !targets.contains(&ci) {
+                                        targets.push(ci);
+                                    }
+                                }
+                            }
                         }
-                        .encode(),
-                    )?;
-                    conn.inflight_controls.push_back((Instant::now(), trace));
-                    stats.controls_sent += 1;
-                    self.metrics.controls_sent.inc();
+                    }
+                    let frame = E2apPdu::ControlRequest {
+                        ran_function: RAN_FUNCTION_MOBIFLOW,
+                        payload,
+                    }
+                    .encode();
+                    for (extra, ci) in targets.into_iter().enumerate() {
+                        // Only a frame actually queued earns an inflight
+                        // slot — a dropped one gets no ack, and a ghost
+                        // entry would skew FIFO correlation forever.
+                        if self.send_on(ci, &frame)? == SendOutcome::Sent {
+                            self.conns[ci]
+                                .inflight_controls
+                                .push_back((Instant::now(), trace));
+                            stats.controls_sent += 1;
+                            self.metrics.controls_sent.inc();
+                            if extra > 0 {
+                                self.metrics.controls_broadcast.inc();
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -351,9 +509,11 @@ impl RicPlatform {
                 conn.gnb_id = Some(gnb_id);
                 conn.cells = cells;
                 conn.ack_latency = Some(ack_latency);
-                conn.transport.send(&E2apPdu::SetupResponse { accepted }.encode())?;
                 conn.setup_done = true;
-                Ok(())
+                self.send_on(ci, &E2apPdu::SetupResponse { accepted }.encode())?;
+                // Subscribe this agent for every telemetry xApp right away
+                // (same-pump, preserving the 3-round handshake cadence).
+                self.issue_subscriptions_for(ci)
             }
             E2apPdu::SubscriptionResponse { request_id, accepted } => {
                 if let Some(entry) =
@@ -372,11 +532,16 @@ impl RicPlatform {
                 self.metrics.indications.inc();
                 let kpm = KpmIndication::decode(&payload)?;
                 let records = kpm.mobiflow_records()?;
-                // Persist to the SDL, keyed by subscription + sequence.
+                // Persist to the SDL, keyed by conn + subscription +
+                // sequence (sequence streams are per-agent, so the conn
+                // token keeps keys unique across agents).
                 for (i, record) in records.iter().enumerate() {
                     self.sdl.set(
                         "mobiflow",
-                        &format!("{}/{}/{:06}/{:03}", request_id.requestor, sequence, record.msg_id, i),
+                        &format!(
+                            "{}/{}/{}/{:06}/{:03}",
+                            ci, request_id.requestor, sequence, record.msg_id, i
+                        ),
                         xsec_mobiflow::encode_ue_record(record).into_bytes(),
                     );
                 }
@@ -424,24 +589,36 @@ impl RicPlatform {
         }
     }
 
-    fn issue_subscriptions(&mut self) -> Result<()> {
-        let Some(conn) = self.conns.iter_mut().find(|c| c.setup_done) else {
+    /// Sends every telemetry xApp's subscription request to conn `ci`
+    /// (idempotent per (xApp, conn); no-op before its setup completes).
+    fn issue_subscriptions_for(&mut self, ci: usize) -> Result<()> {
+        if !self.conns[ci].setup_done {
             return Ok(());
-        };
-        for entry in &mut self.xapps {
-            if let (Some(request_id), Some(period), false) =
-                (entry.request_id, entry.spec.report_period_ms, entry.subscription_sent)
-            {
-                conn.transport.send(
-                    &E2apPdu::SubscriptionRequest {
-                        request_id,
-                        ran_function: RAN_FUNCTION_MOBIFLOW,
-                        report_period_ms: period,
-                        actions: vec![xsec_e2::RicAction::Report],
-                    }
-                    .encode(),
-                )?;
-                entry.subscription_sent = true;
+        }
+        for ai in 0..self.xapps.len() {
+            let entry = &mut self.xapps[ai];
+            let (Some(request_id), Some(period)) =
+                (entry.request_id, entry.spec.report_period_ms)
+            else {
+                continue;
+            };
+            if entry.subscribed.len() <= ci {
+                entry.subscribed.resize(ci + 1, false);
+            }
+            if entry.subscribed[ci] {
+                continue;
+            }
+            let frame = E2apPdu::SubscriptionRequest {
+                request_id,
+                ran_function: RAN_FUNCTION_MOBIFLOW,
+                report_period_ms: period,
+                actions: vec![xsec_e2::RicAction::Report],
+            }
+            .encode();
+            match self.send_on(ci, &frame)? {
+                SendOutcome::Sent => self.xapps[ai].subscribed[ci] = true,
+                // Egress full: leave the flag unset and retry next pump.
+                SendOutcome::Dropped => self.subs_dirty = true,
             }
         }
         Ok(())
@@ -581,6 +758,47 @@ mod tests {
     }
 
     #[test]
+    fn idle_connections_are_not_scanned() {
+        // The reactor property: pump cost follows *active* conns. Wire 8
+        // agents, let the handshakes settle, then have exactly one agent
+        // produce telemetry — the next pump must visit only that conn.
+        let mut platform = RicPlatform::new();
+        let mut agents = Vec::new();
+        for i in 0..8u32 {
+            let (agent_end, ric_end) = in_proc_pair();
+            let agent = RicAgent::new(
+                RicAgentConfig { gnb_id: GnbId(i + 1), cell: CellId(i + 1) },
+                agent_end,
+            )
+            .unwrap();
+            platform.add_agent(Box::new(ric_end));
+            agents.push(agent);
+        }
+        platform.register_xapp(
+            Box::new(CountingApp { records: 0, publishes_to: None }),
+            SubscriptionSpec::telemetry(100),
+        );
+        for _ in 0..3 {
+            platform.pump().unwrap();
+            for agent in &mut agents {
+                agent.poll(Timestamp(0)).unwrap();
+            }
+        }
+        assert!(agents.iter().all(|a| a.is_setup()));
+
+        // Quiesce: no agent has anything pending.
+        let idle = platform.pump().unwrap();
+        assert_eq!(idle.conns_scanned, 0, "idle pump visited {}", idle.conns_scanned);
+
+        // One active agent wakes exactly one conn.
+        agents[3].push_record(record(0, 10));
+        agents[3].poll(Timestamp(100_000)).unwrap();
+        let stats = platform.pump().unwrap();
+        assert_eq!(stats.conns_scanned, 1);
+        assert_eq!(stats.records_delivered, 1);
+    }
+
+    #[test]
     fn topic_messages_flow_between_xapps() {
         let heard = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
         let (agent_end, ric_end) = in_proc_pair();
@@ -703,6 +921,7 @@ mod tests {
     /// An xApp that pins each control action to a configured cell.
     struct CellController {
         cell: CellId,
+        broadcast: bool,
     }
 
     impl XApp for CellController {
@@ -715,12 +934,44 @@ mod tests {
             _records: &[UeMobiFlow],
             _window_end: Timestamp,
         ) {
-            ctx.send_control_to(self.cell, b"act".to_vec());
+            if self.broadcast {
+                ctx.send_control_broadcast(self.cell, None, b"act".to_vec());
+            } else {
+                ctx.send_control_to(self.cell, b"act".to_vec());
+            }
         }
     }
 
-    /// Wires two agents (cells 1 and 2) to one platform and completes both
-    /// handshakes plus the telemetry subscription (served by both agents).
+    /// Wires `n` agents (cells 1..=n) to one platform and completes all
+    /// handshakes plus the telemetry subscription (served by every agent).
+    fn n_agent_platform(
+        app: Box<dyn XApp>,
+        n: u32,
+    ) -> (RicPlatform, Vec<RicAgent<xsec_e2::InProcTransport>>) {
+        let mut platform = RicPlatform::new();
+        let mut agents = Vec::new();
+        for i in 0..n {
+            let (agent_end, ric_end) = in_proc_pair();
+            agents.push(
+                RicAgent::new(
+                    RicAgentConfig { gnb_id: GnbId(i + 1), cell: CellId(i + 1) },
+                    agent_end,
+                )
+                .unwrap(),
+            );
+            platform.add_agent(Box::new(ric_end));
+        }
+        platform.register_xapp(app, SubscriptionSpec::telemetry(100));
+        for _ in 0..3 {
+            platform.pump().unwrap();
+            for agent in &mut agents {
+                agent.poll(Timestamp(0)).unwrap();
+            }
+        }
+        assert!(agents.iter().all(|a| a.is_setup()));
+        (platform, agents)
+    }
+
     fn two_agent_platform(
         app: Box<dyn XApp>,
     ) -> (
@@ -728,33 +979,25 @@ mod tests {
         RicAgent<xsec_e2::InProcTransport>,
         RicAgent<xsec_e2::InProcTransport>,
     ) {
-        let (a1_end, ric1) = in_proc_pair();
-        let (a2_end, ric2) = in_proc_pair();
-        let mut a1 =
-            RicAgent::new(RicAgentConfig { gnb_id: GnbId(1), cell: CellId(1) }, a1_end)
-                .unwrap();
-        let mut a2 =
-            RicAgent::new(RicAgentConfig { gnb_id: GnbId(2), cell: CellId(2) }, a2_end)
-                .unwrap();
-        let mut platform = RicPlatform::new();
-        platform.add_agent(Box::new(ric1));
-        platform.add_agent(Box::new(ric2));
-        platform.register_xapp(app, SubscriptionSpec::telemetry(100));
-        platform.pump().unwrap();
-        a1.poll(Timestamp(0)).unwrap();
-        a2.poll(Timestamp(0)).unwrap();
-        platform.pump().unwrap();
-        a1.poll(Timestamp(0)).unwrap();
-        a2.poll(Timestamp(0)).unwrap();
-        platform.pump().unwrap();
-        assert!(a1.is_setup() && a2.is_setup());
+        let (platform, mut agents) = n_agent_platform(app, 2);
+        let a2 = agents.pop().unwrap();
+        let a1 = agents.pop().unwrap();
         (platform, a1, a2)
+    }
+
+    #[test]
+    fn every_agent_gets_a_subscription() {
+        let (_platform, agents) =
+            n_agent_platform(Box::new(CountingApp { records: 0, publishes_to: None }), 5);
+        for (i, agent) in agents.iter().enumerate() {
+            assert_eq!(agent.subscription_count(), 1, "agent {i} unsubscribed");
+        }
     }
 
     #[test]
     fn controls_route_to_the_agent_owning_the_target_cell() {
         let (mut platform, mut a1, mut a2) =
-            two_agent_platform(Box::new(CellController { cell: CellId(2) }));
+            two_agent_platform(Box::new(CellController { cell: CellId(2), broadcast: false }));
 
         // Telemetry from agent 1 triggers a control pinned to cell 2 — it
         // must reach agent 2, not the first-connected agent.
@@ -782,7 +1025,7 @@ mod tests {
     #[test]
     fn controls_for_unknown_cells_fall_back_and_are_counted() {
         let (mut platform, mut a1, mut a2) =
-            two_agent_platform(Box::new(CellController { cell: CellId(99) }));
+            two_agent_platform(Box::new(CellController { cell: CellId(99), broadcast: false }));
 
         a1.push_record(record(0, 1));
         a1.poll(Timestamp(100_000)).unwrap();
@@ -794,5 +1037,51 @@ mod tests {
         assert_eq!(a1.take_control_requests(), vec![b"act".to_vec()]);
         assert!(a2.take_control_requests().is_empty());
         assert_eq!(platform.controls_unroutable(), 1);
+    }
+
+    #[test]
+    fn broadcast_controls_reach_exactly_the_neighbour_set() {
+        // Cells 1..=5; cell 3's neighbours are 2 and 4. A broadcast control
+        // pinned to cell 3 must reach agents 2, 3, 4 — and nobody else —
+        // with each copy individually acked and correlated.
+        let (mut platform, mut agents) = n_agent_platform(
+            Box::new(CellController { cell: CellId(3), broadcast: true }),
+            5,
+        );
+        platform.set_neighbours(CellId(3), vec![CellId(2), CellId(4)]);
+
+        agents[0].push_record(record(0, 1));
+        agents[0].poll(Timestamp(100_000)).unwrap();
+        let stats = platform.pump().unwrap();
+        assert_eq!(stats.controls_sent, 3, "owner + two neighbours");
+        assert_eq!(platform.controls_broadcast(), 2);
+        assert_eq!(platform.controls_unroutable(), 0);
+
+        let mut reached = Vec::new();
+        for (i, agent) in agents.iter_mut().enumerate() {
+            agent.poll(Timestamp(100_000)).unwrap();
+            if !agent.take_control_requests().is_empty() {
+                reached.push(i + 1);
+            }
+        }
+        assert_eq!(reached, vec![2, 3, 4]);
+
+        // All three copies ack back and correlate per-conn FIFO.
+        platform.pump().unwrap();
+        assert_eq!(platform.controls_acked(), 3);
+        assert_eq!(platform.control_latency().count(), 3);
+    }
+
+    #[test]
+    fn broadcast_without_declared_neighbours_is_a_unicast() {
+        let (mut platform, mut agents) = n_agent_platform(
+            Box::new(CellController { cell: CellId(3), broadcast: true }),
+            5,
+        );
+        agents[0].push_record(record(0, 1));
+        agents[0].poll(Timestamp(100_000)).unwrap();
+        let stats = platform.pump().unwrap();
+        assert_eq!(stats.controls_sent, 1);
+        assert_eq!(platform.controls_broadcast(), 0);
     }
 }

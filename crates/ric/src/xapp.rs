@@ -19,6 +19,11 @@ pub struct ControlOut {
     pub trace: Option<u64>,
     /// Encoded control payload (mitigation TLV).
     pub payload: Vec<u8>,
+    /// Fan the action out to every agent serving a declared neighbour of
+    /// `cell` (see `RicPlatform::set_neighbours`), in addition to the
+    /// owning agent. Used for containment actions like QuarantineCell
+    /// where adjacent cells should brace for the displaced attacker.
+    pub broadcast: bool,
 }
 
 /// Everything an xApp may touch while handling an event.
@@ -40,12 +45,17 @@ impl XAppContext<'_> {
 
     /// Queues a closed-loop control action toward the RAN (any agent).
     pub fn send_control(&mut self, payload: Vec<u8>) {
-        self.control_out.push(ControlOut { cell: None, trace: None, payload });
+        self.control_out.push(ControlOut { cell: None, trace: None, payload, broadcast: false });
     }
 
     /// Queues a closed-loop control action toward the agent serving `cell`.
     pub fn send_control_to(&mut self, cell: CellId, payload: Vec<u8>) {
-        self.control_out.push(ControlOut { cell: Some(cell), trace: None, payload });
+        self.control_out.push(ControlOut {
+            cell: Some(cell),
+            trace: None,
+            payload,
+            broadcast: false,
+        });
     }
 
     /// Queues a closed-loop control action with full routing context: an
@@ -57,7 +67,24 @@ impl XAppContext<'_> {
         trace: Option<u64>,
         payload: Vec<u8>,
     ) {
-        self.control_out.push(ControlOut { cell, trace, payload });
+        self.control_out.push(ControlOut { cell, trace, payload, broadcast: false });
+    }
+
+    /// Queues a closed-loop control action for `cell` *and* every agent
+    /// serving one of its declared neighbours — the fan-out used to brace
+    /// adjacent cells when quarantining one.
+    pub fn send_control_broadcast(
+        &mut self,
+        cell: CellId,
+        trace: Option<u64>,
+        payload: Vec<u8>,
+    ) {
+        self.control_out.push(ControlOut {
+            cell: Some(cell),
+            trace,
+            payload,
+            broadcast: true,
+        });
     }
 }
 
@@ -125,7 +152,7 @@ mod tests {
         assert_eq!(rx.try_recv().unwrap(), 0u32.to_be_bytes().to_vec());
         assert_eq!(
             control,
-            vec![ControlOut { cell: None, trace: None, payload: b"act".to_vec() }]
+            vec![ControlOut { cell: None, trace: None, payload: b"act".to_vec(), broadcast: false }]
         );
     }
 
@@ -137,11 +164,28 @@ mod tests {
         let mut ctx = XAppContext { sdl: &sdl, router: &router, control_out: &mut control };
         ctx.send_control_to(CellId(7), b"act".to_vec());
         ctx.send_control_traced(Some(CellId(7)), Some(42), b"act".to_vec());
+        ctx.send_control_broadcast(CellId(7), Some(43), b"act".to_vec());
         assert_eq!(
             control,
             vec![
-                ControlOut { cell: Some(CellId(7)), trace: None, payload: b"act".to_vec() },
-                ControlOut { cell: Some(CellId(7)), trace: Some(42), payload: b"act".to_vec() },
+                ControlOut {
+                    cell: Some(CellId(7)),
+                    trace: None,
+                    payload: b"act".to_vec(),
+                    broadcast: false,
+                },
+                ControlOut {
+                    cell: Some(CellId(7)),
+                    trace: Some(42),
+                    payload: b"act".to_vec(),
+                    broadcast: false,
+                },
+                ControlOut {
+                    cell: Some(CellId(7)),
+                    trace: Some(43),
+                    payload: b"act".to_vec(),
+                    broadcast: true,
+                },
             ]
         );
     }
