@@ -18,6 +18,11 @@
 //!
 //! [`dataset`] assembles the labeled attack datasets (benign traffic with
 //! attack episodes mixed in) that the Table 2 / Figure 4 experiments consume.
+//!
+//! [`rogue_xapp`] adds the one adversary that attacks from *inside* the
+//! RIC rather than over the air: a malicious tenant xApp that spoofs
+//! findings, forges A1 envelopes, and injects Control Requests — the
+//! scenario the platform's capability-scoped authorization exists to stop.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +33,7 @@ pub mod dataset;
 pub mod id_extraction;
 pub mod migrate;
 pub mod null_cipher;
+pub mod rogue_xapp;
 mod wrap;
 
 pub use blind_dos::{BlindDosUe, TmsiSniffer};
@@ -36,3 +42,4 @@ pub use dataset::{attack_simulator, AttackDataset, DatasetBuilder};
 pub use id_extraction::{DownlinkIdExtractor, UplinkIdExtractor};
 pub use migrate::{MigrateConfig, MigratingFloodUe, MigrationSchedule};
 pub use null_cipher::NullCipherMitm;
+pub use rogue_xapp::{RogueReport, RogueXApp};

@@ -110,8 +110,8 @@ fn main() {
                     .find(|r| r.id == "bts-dos")
                     .expect("shipped bts-dos rule");
                 rule.ttl = Duration::from_secs(12);
-                a1.update(rule);
-                a1.query_status();
+                a1.update(rule).expect("a1 update");
+                a1.query_status().expect("a1 query");
             }
         },
     );

@@ -344,7 +344,15 @@ impl PolicyStore {
                 return Err(PolicyValidation::TemplateNotAllowed(template.kind()));
             }
         }
-        if rule.min_confidence < ty.min_confidence_floor || rule.min_confidence > 1.0 {
+        // Non-finite floors must be rejected explicitly: NaN fails *both*
+        // range comparisons below (every NaN comparison is false), so
+        // without this check a NaN `min_confidence` would validate and
+        // then disable the decision-time floor entirely — the rule would
+        // act autonomously at any confidence.
+        if !rule.min_confidence.is_finite()
+            || rule.min_confidence < ty.min_confidence_floor
+            || rule.min_confidence > 1.0
+        {
             return Err(PolicyValidation::ConfidenceOutOfBounds {
                 floor: ty.min_confidence_floor,
                 got: rule.min_confidence,
@@ -544,6 +552,34 @@ mod tests {
             store.validate(&bad).unwrap_err(),
             PolicyValidation::TtlOutOfRange { .. }
         ));
+    }
+
+    #[test]
+    fn validation_rejects_non_finite_confidence_floors() {
+        // Regression: NaN fails both `< floor` and `> 1.0`, so the old
+        // range check accepted it — and a NaN floor makes the decision-time
+        // `confidence < min_confidence` gate permanently false, disabling
+        // the autonomy floor. ±inf must fail for the same reason (+inf is
+        // caught by `> 1.0`, -inf by `< floor`, but the explicit finiteness
+        // check documents the contract).
+        let store = PolicyStore::new(default_policy_types());
+        for bad_floor in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut bad = rule("x");
+            bad.min_confidence = bad_floor;
+            assert!(
+                matches!(
+                    store.validate(&bad).unwrap_err(),
+                    PolicyValidation::ConfidenceOutOfBounds { .. }
+                ),
+                "floor {bad_floor} must be rejected"
+            );
+        }
+        // And install (the mutating path) refuses too.
+        let mut store = PolicyStore::new(default_policy_types());
+        let mut bad = rule("nan-rule");
+        bad.min_confidence = f32::NAN;
+        assert!(store.install(bad).is_err());
+        assert!(store.rules().is_empty());
     }
 
     #[test]

@@ -269,7 +269,13 @@ impl PolicyEngine {
             });
         }
         let rule = stored.rule.clone();
-        if assessment.confidence < rule.min_confidence {
+        // Written as a negated >= so a non-finite confidence (NaN poisons
+        // every comparison) counts as below-floor and escalates, rather
+        // than silently passing the gate the way `confidence < floor`
+        // would. A1 validation rejects non-finite floors, but the
+        // assessment side arrives from the analyzer at runtime — treat it
+        // defensively.
+        if !(assessment.confidence.is_finite() && assessment.confidence >= rule.min_confidence) {
             return PolicyDecision::Supervise(SupervisionTicket {
                 assessment: assessment.clone(),
                 reason: format!(
@@ -463,6 +469,48 @@ mod tests {
         let mut contested = assessment(Some(AttackKind::NullCipher));
         contested.llm_confirmed = false;
         assert!(matches!(engine.decide(&contested), PolicyDecision::Supervise(_)));
+    }
+
+    #[test]
+    fn non_finite_assessment_confidence_escalates() {
+        // Regression for the NaN-permeable floor: `confidence < floor` is
+        // false for NaN, so a NaN-scoring assessment used to sail past the
+        // autonomy gate and act. It must supervise instead.
+        let mut engine = PolicyEngine::default();
+        // +inf nominally exceeds any floor but is not a real confidence —
+        // all three escalate.
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut poisoned = assessment(Some(AttackKind::NullCipher));
+            poisoned.confidence = bad;
+            assert!(
+                matches!(engine.decide(&poisoned), PolicyDecision::Supervise(_)),
+                "confidence {bad} must escalate"
+            );
+        }
+    }
+
+    #[test]
+    fn a1_path_rejects_non_finite_confidence_floor() {
+        // The same NaN floor arriving over the A1 interface (the path a
+        // compromised SMO or rogue xApp would use) must be rejected by
+        // validation before it reaches the store.
+        let mut engine = PolicyEngine::default();
+        let mut rule = default_rules()
+            .into_iter()
+            .find(|r| r.attack == AttackKind::NullCipher)
+            .unwrap();
+        rule.min_confidence = f32::NAN;
+        let response = engine.apply(&A1Request::CreatePolicy { rule: rule.clone() });
+        assert_eq!(response.outcome, PolicyOpOutcome::RejectedByValidation);
+        assert!(response.detail.contains("confidence"), "got: {}", response.detail);
+        let response = engine.apply(&A1Request::UpdatePolicy { rule });
+        assert_eq!(response.outcome, PolicyOpOutcome::RejectedByValidation);
+        // The live rule keeps its finite floor, and the gate still works.
+        let stored = engine.store().rule_for_attack(AttackKind::NullCipher).unwrap();
+        assert!(stored.rule.min_confidence.is_finite());
+        let mut low = assessment(Some(AttackKind::NullCipher));
+        low.confidence = 0.1;
+        assert!(matches!(engine.decide(&low), PolicyDecision::Supervise(_)));
     }
 
     #[test]

@@ -250,8 +250,12 @@ mod tests {
         let sdl = xsec_ric::SharedDataLayer::new();
         let router = xsec_ric::Router::new();
         let mut control = Vec::new();
-        let mut ctx =
-            xsec_ric::XAppContext { sdl: &sdl, router: &router, control_out: &mut control };
+        let mut ctx = xsec_ric::XAppContext {
+            sdl: &sdl,
+            router: &router,
+            control_out: &mut control,
+            scope: None,
+        };
         analyzer.on_message(&mut ctx, "anomalies", b"not json");
         analyzer.on_message(&mut ctx, "other-topic", b"{}");
         assert!(state.lock().findings.is_empty());

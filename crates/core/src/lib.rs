@@ -56,9 +56,11 @@ pub mod shard;
 pub mod smo;
 
 pub use analyzer::{AnalyzerFinding, LlmAnalyzer};
-pub use mitigator::{FindingNotice, MitigationSummary, Mitigator, MitigatorState};
+pub use mitigator::{
+    A1SignedRequest, FindingNotice, MitigationSummary, Mitigator, MitigatorState,
+};
 pub use mobiwatch::{Detector, MobiWatch, MobiWatchConfig};
 pub use scale::{ScaleDeployment, ScaleOutcome};
 pub use shard::ShardedMobiWatch;
 pub use pipeline::{ClosedLoopOutcome, Pipeline, PipelineConfig, PipelineOutcome};
-pub use smo::{A1PolicyClient, DeployedModels, Smo, TrainingConfig};
+pub use smo::{A1ClientError, A1PolicyClient, DeployedModels, Smo, TrainingConfig};

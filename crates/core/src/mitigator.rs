@@ -68,6 +68,23 @@ pub struct FindingNotice {
     pub records: Vec<String>,
 }
 
+/// An A1 policy operation wrapped in the sender's router identity — the
+/// wire form the SMO's scoped [`crate::smo::A1PolicyClient`] publishes on
+/// [`A1_POLICY_TOPIC`]. The mitigator checks the `(xapp, token)` pair and
+/// the per-op A1 grant against the router's registry before the request is
+/// allowed anywhere near the [`xsec_control::PolicyStore`]. Bare
+/// [`A1Request`] JSON remains accepted for compatibility, but only while
+/// the router is not enforcing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct A1SignedRequest {
+    /// Registered identity name of the sender.
+    pub xapp: String,
+    /// The sender's registration token (proof it holds the handle).
+    pub token: u64,
+    /// The operation being requested.
+    pub request: A1Request,
+}
+
 /// Aggregate mitigation outcome of one pipeline run.
 #[derive(Debug, Clone, Default)]
 pub struct MitigationSummary {
@@ -229,13 +246,14 @@ fn ship_due(state: &mut MitigatorState, now: Timestamp, ctx: &mut XAppContext<'_
             });
         }
         let quarantine = matches!(
-            action.map(|a| a.action),
+            action.as_ref().map(|a| &a.action),
             Some(xsec_control::MitigationAction::QuarantineCell { .. })
         );
-        match (cell, quarantine) {
-            (Some(cell), true) => ctx.send_control_broadcast(cell, trace, payload),
-            _ => ctx.send_control_traced(cell, trace, payload),
-        }
+        // Declare the action kind so a scoped mitigator is checked against
+        // its per-kind control grant (an undecodable payload declares the
+        // wildcard, which deployments deliberately do not grant).
+        let kind = action.as_ref().map_or("*", |a| a.action.name());
+        ctx.send_control_action(kind, cell, trace, quarantine && cell.is_some(), payload);
     }
 }
 
@@ -355,8 +373,30 @@ impl XApp for Mitigator {
                 self.handle_finding(ctx, &notice);
             }
             A1_POLICY_TOPIC => {
-                let Ok(request) = serde_json::from_slice::<A1Request>(payload) else {
-                    return;
+                // Signed envelopes are checked against the router registry
+                // (identity, token, per-op A1 grant) before the store is
+                // touched; a failed check is counted + flight-recorded and
+                // the operation vanishes — no status reply, no tally. Bare
+                // requests only pass while the router is open.
+                let request = if let Ok(signed) =
+                    serde_json::from_slice::<A1SignedRequest>(payload)
+                {
+                    let cap = xsec_ric::Capability::a1(signed.request.op());
+                    if !ctx.router.verify(&signed.xapp, signed.token, &cap) {
+                        ctx.router.deny(&signed.xapp, &cap.label());
+                        return;
+                    }
+                    signed.request
+                } else {
+                    let Ok(request) = serde_json::from_slice::<A1Request>(payload) else {
+                        return;
+                    };
+                    if ctx.router.enforcing() {
+                        let cap = xsec_ric::Capability::a1(request.op());
+                        ctx.router.deny("unsigned", &cap.label());
+                        return;
+                    }
+                    request
                 };
                 let mut state = self.state.lock();
                 let response = state.policy.apply(&request);
@@ -518,6 +558,7 @@ mod tests {
                 sdl: &sdl,
                 router: &router,
                 control_out: &mut control,
+                scope: None,
             };
             mitigator.on_message(&mut ctx, FINDINGS_TOPIC, &serde_json::to_vec(&n).unwrap());
         }
@@ -535,8 +576,12 @@ mod tests {
 
         // Acks resolve in FIFO order against the mitigator clock.
         let mut ack_out = Vec::new();
-        let mut ctx =
-            xsec_ric::XAppContext { sdl: &sdl, router: &router, control_out: &mut ack_out };
+        let mut ctx = xsec_ric::XAppContext {
+            sdl: &sdl,
+            router: &router,
+            control_out: &mut ack_out,
+            scope: None,
+        };
         mitigator.on_message(&mut ctx, CONTROL_ACKS_TOPIC, &[1]);
         mitigator.on_message(&mut ctx, CONTROL_ACKS_TOPIC, &[1]);
         mitigator.on_message(&mut ctx, CONTROL_ACKS_TOPIC, &[0]);
@@ -553,8 +598,12 @@ mod tests {
         let router = xsec_ric::Router::new();
         let status_rx = router.subscribe(A1_POLICY_STATUS_TOPIC);
         let mut control = Vec::new();
-        let mut ctx =
-            xsec_ric::XAppContext { sdl: &sdl, router: &router, control_out: &mut control };
+        let mut ctx = xsec_ric::XAppContext {
+            sdl: &sdl,
+            router: &router,
+            control_out: &mut control,
+            scope: None,
+        };
 
         // Swap the null-cipher playbook to quarantine, then query.
         let mut rule = xsec_control::default_rules()
@@ -596,13 +645,73 @@ mod tests {
     }
 
     #[test]
+    fn enforcing_router_requires_a_verifiable_a1_envelope() {
+        let (mut mitigator, state) = Mitigator::new(PolicyEngine::default());
+        let sdl = xsec_ric::SharedDataLayer::new();
+        let router = xsec_ric::Router::new();
+        router.enforce();
+        let smo = router
+            .register(
+                xsec_ric::XAppIdentity::named("smo"),
+                xsec_ric::Grants::none().a1("set-enabled"),
+            )
+            .unwrap();
+        // The mitigator itself runs scoped, as deployments wire it: it must
+        // hold the status-reply publish grant or its own answers get denied.
+        let scope = router
+            .register(
+                xsec_ric::XAppIdentity::named("mitigator"),
+                xsec_ric::Grants::none().publish(A1_POLICY_STATUS_TOPIC),
+            )
+            .unwrap();
+        let mut control = Vec::new();
+        let mut ctx = xsec_ric::XAppContext {
+            sdl: &sdl,
+            router: &router,
+            control_out: &mut control,
+            scope: Some(&scope),
+        };
+
+        let disable = A1Request::SetEnabled { id: "null-cipher".into(), enabled: false };
+        // Bare request on an enforcing router: denied, store untouched.
+        mitigator.on_message(&mut ctx, A1_POLICY_TOPIC, &serde_json::to_vec(&disable).unwrap());
+        // Forged token: denied.
+        let forged = A1SignedRequest {
+            xapp: "smo".into(),
+            token: smo.token().wrapping_add(1),
+            request: disable.clone(),
+        };
+        mitigator.on_message(&mut ctx, A1_POLICY_TOPIC, &serde_json::to_vec(&forged).unwrap());
+        // Op outside the sender's A1 grant: denied.
+        let ungranted = A1SignedRequest {
+            xapp: "smo".into(),
+            token: smo.token(),
+            request: A1Request::DeletePolicy { id: "null-cipher".into() },
+        };
+        mitigator.on_message(&mut ctx, A1_POLICY_TOPIC, &serde_json::to_vec(&ungranted).unwrap());
+        assert_eq!(state.lock().a1_ops.total(), 0);
+        assert_eq!(router.denied(), 3);
+
+        // The genuine envelope within the grant goes through.
+        let signed =
+            A1SignedRequest { xapp: "smo".into(), token: smo.token(), request: disable };
+        mitigator.on_message(&mut ctx, A1_POLICY_TOPIC, &serde_json::to_vec(&signed).unwrap());
+        assert_eq!(state.lock().a1_ops.applied, 1);
+        assert_eq!(router.denied(), 3);
+    }
+
+    #[test]
     fn unconfirmed_findings_land_in_supervision() {
         let (mut mitigator, state) = Mitigator::new(PolicyEngine::default());
         let sdl = xsec_ric::SharedDataLayer::new();
         let router = xsec_ric::Router::new();
         let mut control = Vec::new();
-        let mut ctx =
-            xsec_ric::XAppContext { sdl: &sdl, router: &router, control_out: &mut control };
+        let mut ctx = xsec_ric::XAppContext {
+            sdl: &sdl,
+            router: &router,
+            control_out: &mut control,
+            scope: None,
+        };
         let records = vec![record(1, 0x4601, MessageKind::RrcSetupRequest)];
         let mut n = notice(vec!["Signaling storm / RRC flooding DoS (BTS DoS)".into()], &records);
         n.needs_human = true;

@@ -8,7 +8,8 @@
 
 use crate::analyzer::{AnalyzerFinding, LlmAnalyzer};
 use crate::mitigator::{
-    MitigationSummary, Mitigator, A1_POLICY_TOPIC, CONTROL_ACKS_TOPIC, FINDINGS_TOPIC,
+    MitigationSummary, Mitigator, A1_POLICY_STATUS_TOPIC, A1_POLICY_TOPIC, CONTROL_ACKS_TOPIC,
+    FINDINGS_TOPIC,
 };
 use crate::mobiwatch::{Detector, MobiWatch, MobiWatchConfig};
 use crate::smo::{A1PolicyClient, DeployedModels, Smo, TrainingConfig};
@@ -21,7 +22,7 @@ use xsec_mobiflow::{extract_from_events, extract_from_events_at, TelemetryStream
 use xsec_obs::{FlightRecorder, Obs, Snapshot};
 use xsec_ran::sim::{RanSimulator, SimReport};
 use xsec_ran::stream::{StreamStats, StreamingScenario};
-use xsec_ric::{RicPlatform, SubscriptionSpec};
+use xsec_ric::{Grants, RicPlatform, RouterHandle, SubscriptionSpec, XAppIdentity};
 use xsec_types::{AttackKind, CellId, Duration, GnbId, Timestamp};
 
 /// Pipeline parameters.
@@ -163,6 +164,9 @@ struct Deployment {
     watch_state: std::sync::Arc<parking_lot::Mutex<crate::mobiwatch::MobiWatchState>>,
     analyzer_state: std::sync::Arc<parking_lot::Mutex<crate::analyzer::AnalyzerState>>,
     mitigator_state: std::sync::Arc<parking_lot::Mutex<crate::mitigator::MitigatorState>>,
+    /// The SMO's registered identity handle (publish on `a1-policies`,
+    /// every A1 op) — what [`A1PolicyClient::scoped`] runs on.
+    smo_scope: RouterHandle,
 }
 
 impl Pipeline {
@@ -255,26 +259,73 @@ impl Pipeline {
         analyzer.attach_obs(&obs);
         let (mitigator, mitigator_state) =
             Mitigator::with_obs(PolicyEngine::default(), obs.clone());
+        // Deny-by-default: each xApp runs under a registered identity
+        // holding exactly the capabilities its role needs, and the router
+        // is sealed once the deployment is wired (no identity can be
+        // minted mid-run).
+        platform.harden();
         platform
-            .register_xapp(watch, SubscriptionSpec::telemetry(self.config.report_period_ms));
+            .register_xapp_scoped(
+                watch,
+                SubscriptionSpec::telemetry(self.config.report_period_ms),
+                Grants::none().publish("anomalies"),
+            )
+            .expect("register mobiwatch");
         platform
-            .register_xapp(Box::new(analyzer), SubscriptionSpec::topics_only(&["anomalies"]));
+            .register_xapp_scoped(
+                Box::new(analyzer),
+                SubscriptionSpec::topics_only(&["anomalies"]),
+                Grants::none().subscribe("anomalies").publish(FINDINGS_TOPIC),
+            )
+            .expect("register analyzer");
         // The mitigator also subscribes to telemetry: the report windows are
-        // its virtual clock for retry pacing and TTL expiry.
-        platform.register_xapp(
-            Box::new(mitigator),
-            SubscriptionSpec::telemetry(self.config.report_period_ms)
-                .with_topic(FINDINGS_TOPIC)
-                .with_topic(CONTROL_ACKS_TOPIC)
-                .with_topic(A1_POLICY_TOPIC),
-        );
+        // its virtual clock for retry pacing and TTL expiry. Its control
+        // grants enumerate the five playbook kinds rather than the
+        // wildcard, so a compromised playbook cannot smuggle a new kind.
+        platform
+            .register_xapp_scoped(
+                Box::new(mitigator),
+                SubscriptionSpec::telemetry(self.config.report_period_ms)
+                    .with_topic(FINDINGS_TOPIC)
+                    .with_topic(CONTROL_ACKS_TOPIC)
+                    .with_topic(A1_POLICY_TOPIC),
+                Grants::none()
+                    .subscribe(FINDINGS_TOPIC)
+                    .subscribe(CONTROL_ACKS_TOPIC)
+                    .subscribe(A1_POLICY_TOPIC)
+                    .publish(A1_POLICY_STATUS_TOPIC)
+                    .control("release-ue")
+                    .control("blacklist-rnti")
+                    .control("force-reauth")
+                    .control("quarantine-cell")
+                    .control("rate-limit-cause"),
+            )
+            .expect("register mitigator");
+        let smo_scope = platform
+            .register_identity(
+                XAppIdentity::named("smo"),
+                Grants::none()
+                    .publish(A1_POLICY_TOPIC)
+                    .subscribe(A1_POLICY_STATUS_TOPIC)
+                    .a1_all(),
+            )
+            .expect("register smo");
+        platform.seal();
 
         // Handshake.
         for _ in 0..3 {
             platform.pump().expect("pump");
             agent.poll(Timestamp::ZERO).expect("agent poll");
         }
-        Deployment { obs, agent, platform, watch_state, analyzer_state, mitigator_state }
+        Deployment {
+            obs,
+            agent,
+            platform,
+            watch_state,
+            analyzer_state,
+            mitigator_state,
+            smo_scope,
+        }
     }
 
     /// Replays a telemetry stream through agent → E2 → platform → xApps.
@@ -334,7 +385,9 @@ impl Pipeline {
         // The RAN side records into the same registry, so the snapshot
         // spans detection *and* enforcement.
         sim.attach_obs(&d.obs);
-        let a1 = A1PolicyClient::new(d.platform.router());
+        // The hook's client runs under the SMO's registered identity: its
+        // operations go out as signed envelopes the mitigator verifies.
+        let a1 = A1PolicyClient::scoped(d.smo_scope.clone());
 
         let period = Duration::from_millis(u64::from(self.config.report_period_ms));
         let horizon = Timestamp::ZERO + sim.config().horizon;

@@ -21,11 +21,12 @@
 
 use crate::analyzer::{AnalyzerState, LlmAnalyzer};
 use crate::mitigator::{
-    MitigationSummary, Mitigator, MitigatorState, A1_POLICY_TOPIC, CONTROL_ACKS_TOPIC,
-    FINDINGS_TOPIC,
+    MitigationSummary, Mitigator, MitigatorState, A1_POLICY_STATUS_TOPIC, A1_POLICY_TOPIC,
+    CONTROL_ACKS_TOPIC, FINDINGS_TOPIC,
 };
 use crate::mobiwatch::{MobiWatch, MobiWatchConfig, MobiWatchState};
 use crate::pipeline::Pipeline;
+use crate::smo::A1PolicyClient;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use xsec_control::{ControlAction, PolicyEngine};
@@ -34,7 +35,7 @@ use xsec_llm::SimulatedExpert;
 use xsec_mobiflow::{TelemetryStream, UeMobiFlow};
 use xsec_obs::{Obs, Snapshot};
 use xsec_ran::stream::StreamingScenario;
-use xsec_ric::{RicPlatform, SubscriptionSpec, XApp};
+use xsec_ric::{Grants, RicPlatform, RouterHandle, SubscriptionSpec, XApp, XAppIdentity};
 use xsec_types::{CellId, Duration, GnbId, Timestamp};
 
 /// One platform, N agents (agent `i` serves `CellId(i + 1)`, matching the
@@ -50,6 +51,8 @@ pub struct ScaleDeployment {
     /// Records buffered for the current report bucket, flushed cell-major.
     bucket: Vec<UeMobiFlow>,
     records: usize,
+    /// The SMO's registered identity (secured deployments only).
+    smo_scope: Option<RouterHandle>,
 }
 
 /// End-of-run summary for a scale deployment.
@@ -72,7 +75,9 @@ pub struct ScaleOutcome {
 
 impl ScaleDeployment {
     /// Deploys `agents` connections with a ring topology of radius 1 (each
-    /// cell's neighbours are the adjacent cells, wrapping).
+    /// cell's neighbours are the adjacent cells, wrapping). The deployment
+    /// is secured: the trio runs under scoped identities on an enforcing,
+    /// sealed router.
     pub fn new(pipeline: &Pipeline, agents: usize) -> Self {
         Self::with_ring_radius(pipeline, agents, 1)
     }
@@ -81,6 +86,36 @@ impl ScaleDeployment {
     /// the `radius` cells on either side of it in the ring (0 = no
     /// topology, broadcasts degrade to unicasts).
     pub fn with_ring_radius(pipeline: &Pipeline, agents: usize, radius: usize) -> Self {
+        Self::deploy(pipeline, agents, radius, true, Vec::new())
+    }
+
+    /// The pre-authorization deployment shape: open router, no identities,
+    /// nothing enforced. Kept so the authorization layer's zero-cost claim
+    /// stays testable — a secured run of the same traffic must produce
+    /// byte-identical detections and incident traces.
+    pub fn open(pipeline: &Pipeline, agents: usize) -> Self {
+        Self::deploy(pipeline, agents, 1, false, Vec::new())
+    }
+
+    /// A secured deployment hosting `extra` xApps alongside the standard
+    /// trio, each under its own identity with the given grants. This is how
+    /// the rogue-xApp scenario plants its attacker: registered like any
+    /// tenant, holding only what it was granted, before the router seals.
+    pub fn with_extra_xapps(
+        pipeline: &Pipeline,
+        agents: usize,
+        extra: Vec<(Box<dyn XApp>, SubscriptionSpec, Grants)>,
+    ) -> Self {
+        Self::deploy(pipeline, agents, 1, true, extra)
+    }
+
+    fn deploy(
+        pipeline: &Pipeline,
+        agents: usize,
+        radius: usize,
+        secured: bool,
+        extra: Vec<(Box<dyn XApp>, SubscriptionSpec, Grants)>,
+    ) -> Self {
         assert!(agents > 0, "at least one agent");
         let config = pipeline.config();
         let obs = Obs::from_env();
@@ -134,16 +169,62 @@ impl ScaleDeployment {
         analyzer.attach_obs(&obs);
         let (mitigator, mitigator_state) =
             Mitigator::with_obs(PolicyEngine::default(), obs.clone());
-        platform.register_xapp(watch, SubscriptionSpec::telemetry(config.report_period_ms));
-        platform
-            .register_xapp(Box::new(analyzer), SubscriptionSpec::topics_only(&["anomalies"]));
-        platform.register_xapp(
-            Box::new(mitigator),
-            SubscriptionSpec::telemetry(config.report_period_ms)
-                .with_topic(FINDINGS_TOPIC)
-                .with_topic(CONTROL_ACKS_TOPIC)
-                .with_topic(A1_POLICY_TOPIC),
-        );
+        let watch_spec = SubscriptionSpec::telemetry(config.report_period_ms);
+        let analyzer_spec = SubscriptionSpec::topics_only(&["anomalies"]);
+        let mitigator_spec = SubscriptionSpec::telemetry(config.report_period_ms)
+            .with_topic(FINDINGS_TOPIC)
+            .with_topic(CONTROL_ACKS_TOPIC)
+            .with_topic(A1_POLICY_TOPIC);
+        let mut smo_scope = None;
+        if secured {
+            platform.harden();
+            platform
+                .register_xapp_scoped(watch, watch_spec, Grants::none().publish("anomalies"))
+                .expect("register mobiwatch");
+            platform
+                .register_xapp_scoped(
+                    Box::new(analyzer),
+                    analyzer_spec,
+                    Grants::none().subscribe("anomalies").publish(FINDINGS_TOPIC),
+                )
+                .expect("register analyzer");
+            platform
+                .register_xapp_scoped(
+                    Box::new(mitigator),
+                    mitigator_spec,
+                    Grants::none()
+                        .subscribe(FINDINGS_TOPIC)
+                        .subscribe(CONTROL_ACKS_TOPIC)
+                        .subscribe(A1_POLICY_TOPIC)
+                        .publish(A1_POLICY_STATUS_TOPIC)
+                        .control("release-ue")
+                        .control("blacklist-rnti")
+                        .control("force-reauth")
+                        .control("quarantine-cell")
+                        .control("rate-limit-cause"),
+                )
+                .expect("register mitigator");
+            for (app, spec, grants) in extra {
+                platform.register_xapp_scoped(app, spec, grants).expect("register extra xapp");
+            }
+            smo_scope = Some(
+                platform
+                    .register_identity(
+                        XAppIdentity::named("smo"),
+                        Grants::none()
+                            .publish(A1_POLICY_TOPIC)
+                            .subscribe(A1_POLICY_STATUS_TOPIC)
+                            .a1_all(),
+                    )
+                    .expect("register smo"),
+            );
+            platform.seal();
+        } else {
+            assert!(extra.is_empty(), "extra xApps require the secured deployment");
+            platform.register_xapp(watch, watch_spec);
+            platform.register_xapp(Box::new(analyzer), analyzer_spec);
+            platform.register_xapp(Box::new(mitigator), mitigator_spec);
+        }
 
         let period = Duration::from_millis(u64::from(config.report_period_ms));
         let mut d = ScaleDeployment {
@@ -156,6 +237,7 @@ impl ScaleDeployment {
             period,
             bucket: Vec::new(),
             records: 0,
+            smo_scope,
         };
         // E2 setup + subscription handshake, all agents in lockstep.
         for _ in 0..3 {
@@ -196,6 +278,16 @@ impl ScaleDeployment {
     /// Shared mitigator state (executor outcomes, supervision queue).
     pub fn mitigator_state(&self) -> Arc<Mutex<MitigatorState>> {
         self.mitigator_state.clone()
+    }
+
+    /// An A1 client for this deployment: bound to the SMO's registered
+    /// identity on secured deployments (operations go out as signed
+    /// envelopes), unscoped on [`ScaleDeployment::open`] ones.
+    pub fn a1_client(&self) -> A1PolicyClient {
+        match &self.smo_scope {
+            Some(handle) => A1PolicyClient::scoped(handle.clone()),
+            None => A1PolicyClient::new(self.platform.router()),
+        }
     }
 
     /// The agent index owning `cell` (modulo, so any cell routes somewhere).

@@ -11,11 +11,12 @@
 //! mitigation xApp over the platform router, so playbooks can be installed,
 //! replaced, disabled, or withdrawn mid-run without redeploying anything.
 
-use crate::mitigator::{A1_POLICY_STATUS_TOPIC, A1_POLICY_TOPIC};
+use crate::mitigator::{A1SignedRequest, A1_POLICY_STATUS_TOPIC, A1_POLICY_TOPIC};
 use crossbeam_channel::Receiver;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use xsec_control::{A1Request, A1Response, PolicyRule};
-use xsec_ric::Router;
+use xsec_ric::{PublishError, Router, RouterHandle};
 use xsec_dl::{
     Autoencoder, AutoencoderConfig, FeatureConfig, Featurizer, Lstm, LstmConfig, Threshold,
     Workspace, FEATURES_PER_RECORD,
@@ -83,56 +84,154 @@ impl DeployedModels {
     }
 }
 
+/// Why an A1 operation never left the SMO side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum A1ClientError {
+    /// The router refused the publish for lack of a grant.
+    Denied {
+        /// Identity the denial was counted against.
+        xapp: String,
+        /// The capability label that was missing.
+        capability: String,
+    },
+    /// No live subscriber on the topic — the operation would have vanished
+    /// silently (typically: the mitigator is not deployed / already gone).
+    Unrouted {
+        /// The subscriber-less topic.
+        topic: String,
+    },
+}
+
+impl From<PublishError> for A1ClientError {
+    fn from(e: PublishError) -> Self {
+        match e {
+            PublishError::Denied { xapp, capability } => A1ClientError::Denied { xapp, capability },
+            PublishError::Unrouted { topic } => A1ClientError::Unrouted { topic },
+        }
+    }
+}
+
+impl fmt::Display for A1ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            A1ClientError::Denied { xapp, capability } => {
+                write!(f, "A1 publish denied for {xapp:?} (missing {capability})")
+            }
+            A1ClientError::Unrouted { topic } => {
+                write!(f, "no live subscriber on {topic:?}; A1 operation not delivered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for A1ClientError {}
+
 /// The SMO's handle on the near-RT RIC's live policy store: an A1-flavoured
 /// message client over the platform router.
 ///
-/// Requests are JSON [`A1Request`]s published on the `a1-policies` topic;
-/// the mitigation xApp consumes them on its next pump, applies them to its
+/// Requests are published on the `a1-policies` topic; the mitigation xApp
+/// consumes them on its next pump, applies them to its
 /// [`xsec_control::PolicyStore`], and answers with an [`A1Response`] on the
 /// `a1-policy-status` topic, which [`A1PolicyClient::drain_responses`]
-/// collects.
+/// collects. A scoped client ([`A1PolicyClient::scoped`]) wraps each
+/// request in an [`A1SignedRequest`] envelope carrying its identity and
+/// token — required once the platform router enforces; the plain
+/// constructor sends bare [`A1Request`] JSON for open/compat routers.
+///
+/// Every send returns `Err` instead of silently dropping when the operation
+/// cannot reach a mitigator: [`A1ClientError::Unrouted`] when the topic has
+/// no live subscriber, [`A1ClientError::Denied`] when the sender lacks the
+/// publish grant.
 pub struct A1PolicyClient {
     router: Router,
+    scope: Option<RouterHandle>,
     responses: Receiver<Vec<u8>>,
 }
 
 impl A1PolicyClient {
-    /// A client over the platform's router
-    /// ([`xsec_ric::RicPlatform::router`]).
+    /// An unscoped client over the platform's router
+    /// ([`xsec_ric::RicPlatform::router`]) — test/compat form; its
+    /// publishes are refused once the router enforces.
     pub fn new(router: Router) -> Self {
         let responses = router.subscribe(A1_POLICY_STATUS_TOPIC);
-        A1PolicyClient { router, responses }
+        A1PolicyClient { router, scope: None, responses }
     }
 
-    /// Publishes one A1 operation; returns how many mailboxes accepted it
-    /// (0 means no mitigator is subscribed yet).
-    pub fn send(&self, request: &A1Request) -> usize {
-        let json = serde_json::to_vec(request).expect("A1 requests serialize");
-        self.router.publish(A1_POLICY_TOPIC, &json)
+    /// A client bound to a registered identity; requests go out in signed
+    /// envelopes the mitigator can verify. The handle needs
+    /// `publish:a1-policies` and `subscribe:a1-policy-status` grants plus
+    /// A1 op rights for the operations it will issue.
+    pub fn scoped(handle: RouterHandle) -> Self {
+        let responses = handle.subscribe(A1_POLICY_STATUS_TOPIC);
+        A1PolicyClient { router: handle.router().clone(), scope: Some(handle), responses }
+    }
+
+    /// Publishes one A1 operation; returns how many mailboxes accepted it.
+    ///
+    /// # Errors
+    /// [`A1ClientError::Unrouted`] when no mitigator is subscribed (the op
+    /// would otherwise vanish), [`A1ClientError::Denied`] when the publish
+    /// grant is missing.
+    pub fn send(&self, request: &A1Request) -> std::result::Result<usize, A1ClientError> {
+        let delivered = match &self.scope {
+            Some(handle) => {
+                let signed = A1SignedRequest {
+                    xapp: handle.name().to_string(),
+                    token: handle.token(),
+                    request: request.clone(),
+                };
+                let json = serde_json::to_vec(&signed).expect("A1 requests serialize");
+                handle.try_publish(A1_POLICY_TOPIC, &json)?
+            }
+            None => {
+                let json = serde_json::to_vec(request).expect("A1 requests serialize");
+                self.router.try_publish(A1_POLICY_TOPIC, &json)?
+            }
+        };
+        Ok(delivered)
     }
 
     /// Installs a rule (supersedes an existing rule with the same id).
-    pub fn create(&self, rule: PolicyRule) -> usize {
+    ///
+    /// # Errors
+    /// See [`A1PolicyClient::send`].
+    pub fn create(&self, rule: PolicyRule) -> std::result::Result<usize, A1ClientError> {
         self.send(&A1Request::CreatePolicy { rule })
     }
 
     /// Replaces an installed rule in place.
-    pub fn update(&self, rule: PolicyRule) -> usize {
+    ///
+    /// # Errors
+    /// See [`A1PolicyClient::send`].
+    pub fn update(&self, rule: PolicyRule) -> std::result::Result<usize, A1ClientError> {
         self.send(&A1Request::UpdatePolicy { rule })
     }
 
     /// Removes an installed rule.
-    pub fn delete(&self, id: &str) -> usize {
+    ///
+    /// # Errors
+    /// See [`A1PolicyClient::send`].
+    pub fn delete(&self, id: &str) -> std::result::Result<usize, A1ClientError> {
         self.send(&A1Request::DeletePolicy { id: id.to_string() })
     }
 
     /// Toggles a rule without removing it.
-    pub fn set_enabled(&self, id: &str, enabled: bool) -> usize {
+    ///
+    /// # Errors
+    /// See [`A1PolicyClient::send`].
+    pub fn set_enabled(
+        &self,
+        id: &str,
+        enabled: bool,
+    ) -> std::result::Result<usize, A1ClientError> {
         self.send(&A1Request::SetEnabled { id: id.to_string(), enabled })
     }
 
     /// Asks for the live rule inventory.
-    pub fn query_status(&self) -> usize {
+    ///
+    /// # Errors
+    /// See [`A1PolicyClient::send`].
+    pub fn query_status(&self) -> std::result::Result<usize, A1ClientError> {
         self.send(&A1Request::QueryStatus)
     }
 
@@ -231,6 +330,19 @@ mod tests {
             lstm_hidden: 16,
             ..TrainingConfig::default()
         }
+    }
+
+    #[test]
+    fn a1_sends_surface_unrouted_topics_as_errors() {
+        let router = xsec_ric::Router::new();
+        let client = A1PolicyClient::new(router.clone());
+        // No mitigator subscribed yet: the op must not vanish silently.
+        let err = client.query_status().unwrap_err();
+        assert_eq!(err, A1ClientError::Unrouted { topic: A1_POLICY_TOPIC.to_string() });
+        assert_eq!(router.unrouted(A1_POLICY_TOPIC), 1);
+        // Once a mitigator mailbox is live the same op is delivered.
+        let _rx = router.subscribe(A1_POLICY_TOPIC);
+        assert_eq!(client.query_status().unwrap(), 1);
     }
 
     #[test]

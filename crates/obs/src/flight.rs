@@ -46,6 +46,9 @@ const TRACE_SLOTS: usize = 16_384;
 /// Maximum incidents retained per run; later detections count as dropped.
 pub const MAX_INCIDENTS: usize = 64;
 
+/// Maximum authorization denials retained per run; later ones only count.
+pub const MAX_DENIALS: usize = 256;
+
 /// One stage of the detection→enforcement causal chain. The numeric order
 /// *is* the causal order: each stage's parent span is the previous stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -199,6 +202,28 @@ struct IncidentStore {
     dropped: u64,
 }
 
+/// One recorded authorization denial. Denials are not part of any causal
+/// trace (the denied action never happened, so no trace id was allocated
+/// for it — which is also what keeps granted-path exports byte-identical
+/// whether enforcement is on or off); they carry their own sequence number
+/// instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenialRecord {
+    /// Per-recorder denial sequence number, starting at 1.
+    pub seq: u64,
+    /// The denied principal.
+    pub xapp: String,
+    /// The missing capability label (`class:target`).
+    pub capability: String,
+}
+
+#[derive(Debug, Default)]
+struct DenialStore {
+    records: Vec<DenialRecord>,
+    next_seq: u64,
+    dropped: u64,
+}
+
 #[derive(Debug)]
 struct RecorderInner {
     enabled: AtomicBool,
@@ -208,6 +233,7 @@ struct RecorderInner {
     slots: Mutex<Vec<(u64, u64)>>,
     rings: Mutex<Vec<FlightRing>>,
     incidents: Mutex<IncidentStore>,
+    denials: Mutex<DenialStore>,
 }
 
 /// The flight recorder: trace-id generator, ring registry, and incident
@@ -228,6 +254,7 @@ impl Default for FlightRecorder {
                 slots: Mutex::new(Vec::new()),
                 rings: Mutex::new(Vec::new()),
                 incidents: Mutex::new(IncidentStore::default()),
+                denials: Mutex::new(DenialStore::default()),
             }),
         }
     }
@@ -324,6 +351,38 @@ impl FlightRecorder {
         }
     }
 
+    /// Records one authorization denial (rogue publish, ungranted control
+    /// kind, forged A1 envelope, …) so it shows up in `incidents.jsonl`
+    /// alongside the causal traces. Bounded at [`MAX_DENIALS`]; overflow
+    /// bumps the sequence counter but keeps no record.
+    pub fn record_denial(&self, xapp: &str, capability: &str) {
+        if !self.enabled() {
+            return;
+        }
+        let mut store = self.inner.denials.lock().expect("denial store poisoned");
+        store.next_seq += 1;
+        if store.records.len() >= MAX_DENIALS {
+            store.dropped += 1;
+            return;
+        }
+        let seq = store.next_seq;
+        store.records.push(DenialRecord {
+            seq,
+            xapp: xapp.to_string(),
+            capability: capability.to_string(),
+        });
+    }
+
+    /// Every retained denial, in record order.
+    pub fn denials(&self) -> Vec<DenialRecord> {
+        self.inner.denials.lock().expect("denial store poisoned").records.clone()
+    }
+
+    /// Denials recorded after the denial store filled up.
+    pub fn dropped_denials(&self) -> u64 {
+        self.inner.denials.lock().expect("denial store poisoned").dropped
+    }
+
     /// Every retained incident, events order-normalized and deduplicated.
     pub fn incidents(&self) -> Vec<Incident> {
         let store = self.inner.incidents.lock().expect("incident store poisoned");
@@ -343,7 +402,10 @@ impl FlightRecorder {
 
     /// Renders every incident as a JSONL decision trace: one JSON object
     /// per event with stage-specific field names, grouped by trace in
-    /// allocation order. Stable across replays and shard counts.
+    /// allocation order, followed by one `authz_deny` line per recorded
+    /// denial (trace 0 — the denied action never entered the causal
+    /// chain). A run without denials renders exactly as it did before
+    /// authorization existed. Stable across replays and shard counts.
     pub fn incidents_jsonl(&self) -> String {
         let mut out = String::new();
         for incident in self.incidents() {
@@ -351,6 +413,15 @@ impl FlightRecorder {
                 out.push_str(&event_jsonl(event));
                 out.push('\n');
             }
+        }
+        for denial in self.denials() {
+            out.push_str(&format!(
+                "{{\"trace\":0,\"stage\":\"authz_deny\",\"seq\":{},\"xapp\":\"{}\",\
+                 \"capability\":\"{}\"}}\n",
+                denial.seq,
+                escape_json(&denial.xapp),
+                escape_json(&denial.capability),
+            ));
         }
         out
     }
@@ -419,6 +490,21 @@ impl FlightRecorder {
         crate::export::atomic_write(&perfetto, &self.perfetto_json())?;
         Ok((jsonl, perfetto))
     }
+}
+
+/// Minimal JSON string escape for principal/capability names (quotes,
+/// backslashes, control characters).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A finite f32 for JSON (NaN/inf would break the document).
@@ -582,6 +668,45 @@ mod tests {
         for (open, close) in [('{', '}'), ('[', ']')] {
             assert_eq!(perfetto.matches(open).count(), perfetto.matches(close).count());
         }
+    }
+
+    #[test]
+    fn denials_are_bounded_and_render_after_incidents() {
+        let rec = FlightRecorder::new();
+        let trace = rec.begin_trace(1);
+        rec.mark_incident(trace);
+        rec.record_stage(ev(trace, TraceStage::Alert, 10));
+        rec.record_denial("rogue", "publish:a1-policies");
+        rec.record_denial("rogue", "control:quarantine-cell");
+        let jsonl = rec.incidents_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"stage\":\"alert\""));
+        assert!(lines[1].contains("\"stage\":\"authz_deny\""), "got: {}", lines[1]);
+        assert!(lines[1].contains("\"xapp\":\"rogue\""));
+        assert!(lines[1].contains("\"capability\":\"publish:a1-policies\""));
+        assert!(lines[2].contains("\"seq\":2"));
+        // No denials → the export is exactly the pre-authz rendering.
+        let clean = FlightRecorder::new();
+        let t = clean.begin_trace(1);
+        clean.mark_incident(t);
+        clean.record_stage(ev(t, TraceStage::Alert, 10));
+        assert!(!clean.incidents_jsonl().contains("authz_deny"));
+        // The store is bounded; overflow only counts.
+        for _ in 0..(MAX_DENIALS + 7) {
+            rec.record_denial("rogue", "publish:findings");
+        }
+        assert_eq!(rec.denials().len(), MAX_DENIALS);
+        assert_eq!(rec.dropped_denials(), 9);
+    }
+
+    #[test]
+    fn denial_strings_are_json_escaped() {
+        let rec = FlightRecorder::new();
+        rec.record_denial("ro\"gue\\", "publish:a\nb");
+        let jsonl = rec.incidents_jsonl();
+        assert!(jsonl.contains("\"xapp\":\"ro\\\"gue\\\\\""), "got: {jsonl}");
+        assert!(jsonl.contains("\"capability\":\"publish:a\\u000ab\""));
     }
 
     #[test]

@@ -46,8 +46,8 @@ mod metrics;
 mod trace;
 
 pub use flight::{
-    FlightEvent, FlightRecorder, FlightRing, Incident, TraceCtx, TraceStage,
-    FLIGHT_RING_CAPACITY, MAX_INCIDENTS,
+    DenialRecord, FlightEvent, FlightRecorder, FlightRing, Incident, TraceCtx, TraceStage,
+    FLIGHT_RING_CAPACITY, MAX_DENIALS, MAX_INCIDENTS,
 };
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSummary, MetricKey, MetricSample, MetricsRegistry,

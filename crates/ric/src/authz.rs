@@ -1,0 +1,194 @@
+//! Capability-scoped xApp identity and authorization.
+//!
+//! The OSC platform's RMR router trusts every client: anything holding the
+//! router can post to `a1-policies` or `findings` and drive the Mitigator.
+//! That is exactly the rogue-xApp gap called out by "Securing 5G OpenRAN
+//! with a Scalable Authorization Framework for xApps" (arXiv:2212.11465)
+//! and weaponized by the xApp-level attacks in arXiv:2406.12299. This
+//! module closes it with deny-by-default capability grants:
+//!
+//! * [`XAppIdentity`] — a stable principal name, registered once with the
+//!   router before it is sealed.
+//! * [`Capability`] — one grantable right: subscribe/publish on a topic,
+//!   emit a Control Request of one action kind, or perform one A1 policy
+//!   op. `"*"` grants a whole class.
+//! * [`Grants`] — the capability set attached to an identity at
+//!   registration; checked on every scoped operation.
+//!
+//! Enforcement lives at the three actuation choke points: the router
+//! (topic ACLs via [`crate::router::RouterHandle`]), the Mitigator (A1 ops
+//! verified against the caller's registered grants before the
+//! `PolicyStore` is touched), and the platform's control emission path
+//! (per-action-kind checks in `XAppContext`). Every denial increments
+//! `xsec_authz_denied_total{xapp,capability}` and lands in the flight
+//! recorder so it shows up in `incidents.jsonl`.
+
+/// A registered xApp principal. The name doubles as the metric label, so
+/// keep it short and stable (the platform uses `XApp::name()`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct XAppIdentity {
+    /// The principal name (e.g. `"mobiwatch"`, `"mitigator"`, `"smo"`).
+    pub name: String,
+}
+
+impl XAppIdentity {
+    /// An identity for `name`.
+    pub fn named(name: &str) -> Self {
+        XAppIdentity { name: name.to_string() }
+    }
+}
+
+/// One grantable right. `Control` targets are `MitigationAction::name()`
+/// strings (`"release-ue"`, `"blacklist-rnti"`, `"force-reauth"`,
+/// `"quarantine-cell"`, `"rate-limit-cause"`); `A1` targets are
+/// `A1Request::op()` strings (`"create"`, `"update"`, `"delete"`,
+/// `"set-enabled"`, `"query"`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Capability {
+    /// Receive messages published on a topic.
+    Subscribe(String),
+    /// Publish messages on a topic.
+    Publish(String),
+    /// Emit a closed-loop Control Request of one action kind.
+    Control(String),
+    /// Perform one A1 policy-management operation.
+    A1(String),
+}
+
+impl Capability {
+    /// Subscribe right on `topic`.
+    pub fn subscribe(topic: &str) -> Self {
+        Capability::Subscribe(topic.to_string())
+    }
+
+    /// Publish right on `topic`.
+    pub fn publish(topic: &str) -> Self {
+        Capability::Publish(topic.to_string())
+    }
+
+    /// Control-emission right for action `kind`.
+    pub fn control(kind: &str) -> Self {
+        Capability::Control(kind.to_string())
+    }
+
+    /// A1 policy-op right for `op`.
+    pub fn a1(op: &str) -> Self {
+        Capability::A1(op.to_string())
+    }
+
+    /// The `capability` metric label: `class:target`, e.g.
+    /// `"publish:a1-policies"` or `"control:quarantine-cell"`.
+    pub fn label(&self) -> String {
+        match self {
+            Capability::Subscribe(t) => format!("subscribe:{t}"),
+            Capability::Publish(t) => format!("publish:{t}"),
+            Capability::Control(k) => format!("control:{k}"),
+            Capability::A1(op) => format!("a1:{op}"),
+        }
+    }
+}
+
+/// The capability set granted to one identity. Deny-by-default: an empty
+/// `Grants` allows nothing; each builder call adds one right. `"*"` as a
+/// target grants the whole class.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Grants {
+    subscribe: Vec<String>,
+    publish: Vec<String>,
+    control: Vec<String>,
+    a1: Vec<String>,
+}
+
+impl Grants {
+    /// The empty grant set (allows nothing).
+    pub fn none() -> Self {
+        Grants::default()
+    }
+
+    /// Adds a subscribe right on `topic`.
+    pub fn subscribe(mut self, topic: &str) -> Self {
+        self.subscribe.push(topic.to_string());
+        self
+    }
+
+    /// Adds a publish right on `topic`.
+    pub fn publish(mut self, topic: &str) -> Self {
+        self.publish.push(topic.to_string());
+        self
+    }
+
+    /// Adds a control-emission right for action `kind`.
+    pub fn control(mut self, kind: &str) -> Self {
+        self.control.push(kind.to_string());
+        self
+    }
+
+    /// Grants every control action kind (`"*"`).
+    pub fn control_all(self) -> Self {
+        self.control("*")
+    }
+
+    /// Adds an A1 policy-op right for `op`.
+    pub fn a1(mut self, op: &str) -> Self {
+        self.a1.push(op.to_string());
+        self
+    }
+
+    /// Grants every A1 policy op (`"*"`).
+    pub fn a1_all(self) -> Self {
+        self.a1("*")
+    }
+
+    /// Whether this grant set allows `cap`.
+    pub fn allows(&self, cap: &Capability) -> bool {
+        fn hit(granted: &[String], target: &str) -> bool {
+            granted.iter().any(|g| g == "*" || g == target)
+        }
+        match cap {
+            Capability::Subscribe(t) => hit(&self.subscribe, t),
+            Capability::Publish(t) => hit(&self.publish, t),
+            Capability::Control(k) => hit(&self.control, k),
+            Capability::A1(op) => hit(&self.a1, op),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_grants_deny_everything() {
+        let g = Grants::none();
+        assert!(!g.allows(&Capability::subscribe("findings")));
+        assert!(!g.allows(&Capability::publish("findings")));
+        assert!(!g.allows(&Capability::control("quarantine-cell")));
+        assert!(!g.allows(&Capability::a1("create")));
+    }
+
+    #[test]
+    fn grants_are_per_target() {
+        let g = Grants::none().publish("anomalies").a1("query");
+        assert!(g.allows(&Capability::publish("anomalies")));
+        assert!(!g.allows(&Capability::publish("a1-policies")));
+        assert!(!g.allows(&Capability::subscribe("anomalies")));
+        assert!(g.allows(&Capability::a1("query")));
+        assert!(!g.allows(&Capability::a1("create")));
+    }
+
+    #[test]
+    fn wildcard_grants_a_class_not_everything() {
+        let g = Grants::none().control_all();
+        assert!(g.allows(&Capability::control("release-ue")));
+        assert!(g.allows(&Capability::control("quarantine-cell")));
+        assert!(!g.allows(&Capability::publish("a1-policies")));
+    }
+
+    #[test]
+    fn capability_labels_are_class_colon_target() {
+        assert_eq!(Capability::publish("findings").label(), "publish:findings");
+        assert_eq!(Capability::subscribe("anomalies").label(), "subscribe:anomalies");
+        assert_eq!(Capability::control("quarantine-cell").label(), "control:quarantine-cell");
+        assert_eq!(Capability::a1("set-enabled").label(), "a1:set-enabled");
+    }
+}

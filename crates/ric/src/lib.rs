@@ -21,14 +21,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod authz;
 pub mod latency;
 pub mod platform;
 pub mod router;
 pub mod xapp;
 
+pub use authz::{Capability, Grants, XAppIdentity};
 pub use latency::{LatencyClass, LatencyTracker};
 pub use platform::{PumpStats, RicPlatform, SubscriptionSpec};
-pub use router::Router;
+pub use router::{PublishError, RegisterError, Router, RouterHandle};
 pub use xapp::{ControlOut, XApp, XAppContext};
 
-pub use xsec_mobiflow::SharedDataLayer;
+pub use xsec_mobiflow::{SharedDataLayer, UeMobiFlow};

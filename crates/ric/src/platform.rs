@@ -17,8 +17,9 @@
 //! queue and a full queue drops the frame with a count
 //! (`xsec_ric_egress_dropped_total`) instead of stalling the reactor.
 
+use crate::authz::{Grants, XAppIdentity};
 use crate::latency::LatencyTracker;
-use crate::router::Router;
+use crate::router::{RegisterError, Router, RouterHandle};
 use crate::xapp::{ControlOut, XApp, XAppContext};
 use crossbeam_channel::Receiver;
 use std::collections::{HashMap, VecDeque};
@@ -72,6 +73,9 @@ struct XAppEntry {
     mailboxes: Vec<(String, Receiver<Vec<u8>>)>,
     /// Handler latency, labelled `xapp="<name>"`.
     handler_latency: Histogram,
+    /// The app's authorization scope ([`RicPlatform::register_xapp_scoped`]);
+    /// `None` for legacy unscoped registration.
+    scope: Option<RouterHandle>,
 }
 
 struct AgentConn {
@@ -179,6 +183,10 @@ pub struct RicPlatform {
     neighbours: HashMap<CellId, Vec<CellId>>,
     obs: Obs,
     metrics: PlatformMetrics,
+    /// The platform's own router identity, used for the relays it
+    /// publishes itself (the `control-acks` ack fan-out) so they keep
+    /// flowing once the router is hardened to deny-by-default.
+    platform_scope: RouterHandle,
 }
 
 impl Default for RicPlatform {
@@ -196,9 +204,17 @@ impl RicPlatform {
     /// An empty platform recording into `obs`.
     pub fn with_obs(obs: Obs) -> Self {
         let metrics = PlatformMetrics::register(&obs);
+        let router = Router::new();
+        router.attach_obs(&obs);
+        let platform_scope = router
+            .register(
+                XAppIdentity::named("ric-platform"),
+                Grants::none().publish("control-acks"),
+            )
+            .expect("fresh router cannot refuse the platform identity");
         RicPlatform {
             sdl: SharedDataLayer::new(),
-            router: Router::new(),
+            router,
             conns: Vec::new(),
             xapps: Vec::new(),
             next_requestor: 1,
@@ -213,7 +229,33 @@ impl RicPlatform {
             neighbours: HashMap::new(),
             obs,
             metrics,
+            platform_scope,
         }
+    }
+
+    /// Switches the router to deny-by-default enforcement: from here on
+    /// only identities registered via
+    /// [`RicPlatform::register_xapp_scoped`] (plus the platform's own
+    /// relay identity) can move messages. Call before wiring xApps.
+    pub fn harden(&self) {
+        self.router.enforce();
+    }
+
+    /// Closes identity registration on the router. Call once the
+    /// deployment is fully wired so nothing can mint an identity mid-run.
+    pub fn seal(&self) {
+        self.router.seal();
+    }
+
+    /// Registers `identity` with `grants` on the platform router without
+    /// hosting an xApp for it — how out-of-process principals (the SMO's
+    /// A1 client) obtain their scoped handle.
+    pub fn register_identity(
+        &self,
+        identity: XAppIdentity,
+        grants: Grants,
+    ) -> std::result::Result<RouterHandle, RegisterError> {
+        self.router.register(identity, grants)
     }
 
     /// The platform's observability handle.
@@ -302,13 +344,47 @@ impl RicPlatform {
         });
     }
 
-    /// Registers an xApp. Its E2 subscriptions (one per connected agent)
-    /// are negotiated on the next pump after each agent completes setup.
-    pub fn register_xapp(&mut self, mut app: Box<dyn XApp>, spec: SubscriptionSpec) {
+    /// Registers an xApp without an identity — the legacy/test path where
+    /// its context is unscoped. Its E2 subscriptions (one per connected
+    /// agent) are negotiated on the next pump after each agent completes
+    /// setup.
+    pub fn register_xapp(&mut self, app: Box<dyn XApp>, spec: SubscriptionSpec) {
+        self.register_xapp_entry(app, spec, None);
+    }
+
+    /// Registers an xApp under its own router identity (named by
+    /// `XApp::name()`) carrying `grants`: every publish, topic mailbox,
+    /// and control emission from the app is checked against them.
+    pub fn register_xapp_scoped(
+        &mut self,
+        app: Box<dyn XApp>,
+        spec: SubscriptionSpec,
+        grants: Grants,
+    ) -> std::result::Result<(), RegisterError> {
+        let handle = self.router.register(XAppIdentity::named(app.name()), grants)?;
+        self.register_xapp_entry(app, spec, Some(handle));
+        Ok(())
+    }
+
+    fn register_xapp_entry(
+        &mut self,
+        mut app: Box<dyn XApp>,
+        spec: SubscriptionSpec,
+        scope: Option<RouterHandle>,
+    ) {
+        // Scoped mailboxes go through the handle: a topic outside the
+        // app's subscribe grants yields a dead mailbox (and a counted
+        // denial), so ungranted messages simply never arrive.
         let mailboxes = spec
             .topics
             .iter()
-            .map(|t| (t.clone(), self.router.subscribe(t)))
+            .map(|t| {
+                let rx = match &scope {
+                    Some(handle) => handle.subscribe(t),
+                    None => self.router.subscribe(t),
+                };
+                (t.clone(), rx)
+            })
             .collect();
         let request_id = spec.report_period_ms.map(|_| {
             let id = RicRequestId { requestor: self.next_requestor, instance: 1 };
@@ -322,6 +398,7 @@ impl RicPlatform {
             sdl: &self.sdl,
             router: &self.router,
             control_out: &mut control_out,
+            scope: scope.as_ref(),
         };
         app.on_start(&mut ctx);
         self.control_queue.extend(control_out);
@@ -332,6 +409,7 @@ impl RicPlatform {
             spec,
             mailboxes,
             handler_latency,
+            scope,
         });
         self.subs_dirty = true;
     }
@@ -579,9 +657,9 @@ impl RicPlatform {
                     let mut payload = [0u8; 9];
                     payload[0] = success as u8;
                     payload[1..].copy_from_slice(&trace.to_be_bytes());
-                    self.router.publish("control-acks", &payload);
+                    self.platform_scope.publish("control-acks", &payload);
                 } else {
-                    self.router.publish("control-acks", &[success as u8]);
+                    self.platform_scope.publish("control-acks", &[success as u8]);
                 }
                 Ok(())
             }
@@ -633,6 +711,7 @@ impl RicPlatform {
                 sdl: &self.sdl,
                 router: &self.router,
                 control_out: &mut control_out,
+                scope: entry.scope.as_ref(),
             };
             f(entry.app.as_mut(), &mut ctx);
         }

@@ -1,7 +1,8 @@
 //! The xApp framework: what a control-plane application implements to run
 //! on the platform.
 
-use crate::router::Router;
+use crate::authz::Capability;
+use crate::router::{Router, RouterHandle};
 use xsec_mobiflow::{SharedDataLayer, UeMobiFlow};
 use xsec_types::{CellId, Timestamp};
 
@@ -35,21 +36,63 @@ pub struct XAppContext<'a> {
     /// Control payloads the xApp wants sent back to the RAN over E2
     /// (closed-loop feedback); the platform drains and ships them.
     pub control_out: &'a mut Vec<ControlOut>,
+    /// The caller's authorization scope, when the app was registered with
+    /// an identity ([`crate::platform::RicPlatform::register_xapp_scoped`]).
+    /// `None` means the legacy unscoped (test/compat) context: publishes go
+    /// straight to the router and control emission is ungated.
+    pub scope: Option<&'a RouterHandle>,
 }
 
 impl XAppContext<'_> {
-    /// Publishes a message to other xApps.
+    /// Publishes a message to other xApps. Scoped contexts are checked
+    /// against the identity's publish grants; a denial is counted and the
+    /// message goes nowhere.
     pub fn publish(&self, topic: &str, payload: &[u8]) {
-        self.router.publish(topic, payload);
+        match self.scope {
+            Some(handle) => {
+                handle.publish(topic, payload);
+            }
+            None => {
+                self.router.publish(topic, payload);
+            }
+        }
+    }
+
+    /// Checks the control-emission gate for action `kind`: scoped contexts
+    /// must hold `Capability::Control(kind)`; a denial is counted against
+    /// the identity. Unscoped contexts pass.
+    fn control_allowed(&self, kind: &str) -> bool {
+        match self.scope {
+            Some(handle) => {
+                let cap = Capability::control(kind);
+                if handle.allows(&cap) {
+                    true
+                } else {
+                    handle.deny(&cap.label());
+                    false
+                }
+            }
+            None => true,
+        }
     }
 
     /// Queues a closed-loop control action toward the RAN (any agent).
+    /// Scoped contexts need the wildcard control grant; callers that know
+    /// the action kind should use [`XAppContext::send_control_action`] so
+    /// the per-kind grant is what is checked.
     pub fn send_control(&mut self, payload: Vec<u8>) {
+        if !self.control_allowed("*") {
+            return;
+        }
         self.control_out.push(ControlOut { cell: None, trace: None, payload, broadcast: false });
     }
 
     /// Queues a closed-loop control action toward the agent serving `cell`.
+    /// Scoped contexts need the wildcard control grant.
     pub fn send_control_to(&mut self, cell: CellId, payload: Vec<u8>) {
+        if !self.control_allowed("*") {
+            return;
+        }
         self.control_out.push(ControlOut {
             cell: Some(cell),
             trace: None,
@@ -60,31 +103,61 @@ impl XAppContext<'_> {
 
     /// Queues a closed-loop control action with full routing context: an
     /// optional pinned cell and an optional causal trace id for ack
-    /// correlation.
+    /// correlation. Scoped contexts need the wildcard control grant.
     pub fn send_control_traced(
         &mut self,
         cell: Option<CellId>,
         trace: Option<u64>,
         payload: Vec<u8>,
     ) {
+        if !self.control_allowed("*") {
+            return;
+        }
         self.control_out.push(ControlOut { cell, trace, payload, broadcast: false });
     }
 
     /// Queues a closed-loop control action for `cell` *and* every agent
     /// serving one of its declared neighbours — the fan-out used to brace
-    /// adjacent cells when quarantining one.
+    /// adjacent cells when quarantining one. Scoped contexts need the
+    /// wildcard control grant.
     pub fn send_control_broadcast(
         &mut self,
         cell: CellId,
         trace: Option<u64>,
         payload: Vec<u8>,
     ) {
+        if !self.control_allowed("*") {
+            return;
+        }
         self.control_out.push(ControlOut {
             cell: Some(cell),
             trace,
             payload,
             broadcast: true,
         });
+    }
+
+    /// Queues a closed-loop control action of a declared `kind` (a
+    /// `MitigationAction::name()` string), checked against the caller's
+    /// per-kind control grant — the platform-side actuation gate. Returns
+    /// whether the action was queued; a denial is counted and queues
+    /// nothing. The kind is the caller's declaration: the check is only as
+    /// honest as the sender, which is why deployments grant the Mitigator
+    /// exactly the kinds its playbooks instantiate and nothing else holds
+    /// any control grant.
+    pub fn send_control_action(
+        &mut self,
+        kind: &str,
+        cell: Option<CellId>,
+        trace: Option<u64>,
+        broadcast: bool,
+        payload: Vec<u8>,
+    ) -> bool {
+        if !self.control_allowed(kind) {
+            return false;
+        }
+        self.control_out.push(ControlOut { cell, trace, payload, broadcast });
+        true
     }
 }
 
@@ -118,6 +191,7 @@ pub trait XApp: Send {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::authz::{Grants, XAppIdentity};
 
     struct Recorder {
         seen: usize,
@@ -146,7 +220,8 @@ mod tests {
         let router = Router::new();
         let rx = router.subscribe("seen");
         let mut control = Vec::new();
-        let mut ctx = XAppContext { sdl: &sdl, router: &router, control_out: &mut control };
+        let mut ctx =
+            XAppContext { sdl: &sdl, router: &router, control_out: &mut control, scope: None };
         let mut app = Recorder { seen: 0 };
         app.on_records(&mut ctx, &[], Timestamp(0));
         assert_eq!(rx.try_recv().unwrap(), 0u32.to_be_bytes().to_vec());
@@ -161,7 +236,8 @@ mod tests {
         let sdl = SharedDataLayer::new();
         let router = Router::new();
         let mut control = Vec::new();
-        let mut ctx = XAppContext { sdl: &sdl, router: &router, control_out: &mut control };
+        let mut ctx =
+            XAppContext { sdl: &sdl, router: &router, control_out: &mut control, scope: None };
         ctx.send_control_to(CellId(7), b"act".to_vec());
         ctx.send_control_traced(Some(CellId(7)), Some(42), b"act".to_vec());
         ctx.send_control_broadcast(CellId(7), Some(43), b"act".to_vec());
@@ -188,5 +264,59 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn scoped_context_gates_publish_and_control_by_grant() {
+        let sdl = SharedDataLayer::new();
+        let router = Router::new();
+        router.enforce();
+        let handle = router
+            .register(
+                XAppIdentity::named("partial"),
+                Grants::none().publish("anomalies").control("release-ue"),
+            )
+            .unwrap();
+        let anomalies = router
+            .register(XAppIdentity::named("sink"), Grants::none().subscribe("anomalies"))
+            .unwrap()
+            .subscribe("anomalies");
+        let mut control = Vec::new();
+        let mut ctx = XAppContext {
+            sdl: &sdl,
+            router: &router,
+            control_out: &mut control,
+            scope: Some(&handle),
+        };
+        // Granted topic goes through; ungranted one is dropped + counted.
+        ctx.publish("anomalies", b"ok");
+        ctx.publish("findings", b"spoof");
+        assert_eq!(anomalies.try_recv().unwrap(), b"ok");
+        // Per-kind control: granted kind queues, ungranted kind and the
+        // wildcard-needing legacy path are denied.
+        assert!(ctx.send_control_action("release-ue", Some(CellId(1)), None, false, b"a".to_vec()));
+        assert!(!ctx.send_control_action(
+            "quarantine-cell",
+            Some(CellId(1)),
+            None,
+            true,
+            b"q".to_vec()
+        ));
+        ctx.send_control(b"legacy".to_vec());
+        assert_eq!(control.len(), 1);
+        assert_eq!(router.denied(), 3);
+    }
+
+    #[test]
+    fn unscoped_context_remains_ungated() {
+        let sdl = SharedDataLayer::new();
+        let router = Router::new();
+        let mut control = Vec::new();
+        let mut ctx =
+            XAppContext { sdl: &sdl, router: &router, control_out: &mut control, scope: None };
+        assert!(ctx.send_control_action("quarantine-cell", None, None, false, b"q".to_vec()));
+        ctx.send_control(b"legacy".to_vec());
+        assert_eq!(control.len(), 2);
+        assert_eq!(router.denied(), 0);
     }
 }

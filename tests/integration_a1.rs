@@ -102,7 +102,7 @@ fn smo_install_detect_update_detect_sequence() {
     let (mut agent, mut platform, state, a1) = deploy_mitigator_only();
 
     // The shipped inventory answers a status query: five enabled v1 rules.
-    assert_eq!(a1.query_status(), 1, "no mitigator subscribed to the A1 topic");
+    assert_eq!(a1.query_status().expect("mitigator subscribed to the A1 topic"), 1);
     platform.pump().expect("pump");
     let responses = a1.drain_responses();
     assert_eq!(responses.len(), 1);
@@ -123,7 +123,7 @@ fn smo_install_detect_update_detect_sequence() {
     );
 
     // Hot-swap the playbook mid-run: quarantine instead of release.
-    a1.update(null_cipher_rule_with(vec![ActionTemplate::QuarantineCell]));
+    a1.update(null_cipher_rule_with(vec![ActionTemplate::QuarantineCell])).expect("a1 update");
     platform.pump().expect("pump");
     let responses = a1.drain_responses();
     assert_eq!(responses.len(), 1);
@@ -147,7 +147,7 @@ fn smo_install_detect_update_detect_sequence() {
     // Out-of-schema updates are rejected and leave the store untouched.
     let mut bad = null_cipher_rule_with(vec![ActionTemplate::QuarantineCell]);
     bad.ttl = Duration::from_secs(500);
-    a1.update(bad);
+    a1.update(bad).expect("a1 update delivered (rejection happens mitigator-side)");
     platform.pump().expect("pump");
     let responses = a1.drain_responses();
     assert_eq!(responses[0].outcome, PolicyOpOutcome::RejectedByValidation);
@@ -156,7 +156,7 @@ fn smo_install_detect_update_detect_sequence() {
     assert_eq!(nc.version, 2, "rejected update must not bump the version");
 
     // Disabling the rule escalates the next detection to supervision.
-    a1.set_enabled("null-cipher", false);
+    a1.set_enabled("null-cipher", false).expect("a1 set-enabled");
     platform.pump().expect("pump");
     a1.drain_responses();
     let t3 = Timestamp(20_000_000);
@@ -200,8 +200,9 @@ fn closed_loop_hot_swap_changes_enforced_actions() {
         |_, _, a1| {
             if !swapped {
                 swapped = true;
-                a1.update(null_cipher_rule_with(vec![ActionTemplate::QuarantineCell]));
-                a1.query_status();
+                a1.update(null_cipher_rule_with(vec![ActionTemplate::QuarantineCell]))
+                    .expect("a1 update");
+                a1.query_status().expect("a1 query");
             }
         },
     );

@@ -10,7 +10,6 @@
 
 use sixg_xsec::pipeline::{Pipeline, PipelineConfig};
 use sixg_xsec::scale::ScaleDeployment;
-use sixg_xsec::A1PolicyClient;
 use xsec_attacks::{MigrateConfig, MigrationSchedule};
 use xsec_control::{ActionTemplate, MitigationAction, PolicyRule};
 use xsec_mobiflow::{extract_from_events, TelemetryStream};
@@ -72,7 +71,7 @@ fn coordinated_flood_across_120_cells_is_contained_end_to_end() {
 
     // Harden the BTS DoS response over A1: quarantine the flooded cell
     // (and, via the ring topology, brace both neighbours).
-    let a1 = A1PolicyClient::new(d.platform().router());
+    let a1 = d.a1_client();
     a1.update(PolicyRule {
         id: "bts-dos".into(),
         attack: AttackKind::BtsDos,
@@ -80,7 +79,8 @@ fn coordinated_flood_across_120_cells_is_contained_end_to_end() {
         require_llm_confirmation: true,
         ttl: Duration::from_secs(10),
         templates: vec![ActionTemplate::QuarantineCell],
-    });
+    })
+    .expect("a1 update");
     d.step(Timestamp::ZERO);
 
     let enforced = d.run_streaming(&mut engine, Duration::from_secs(60));
